@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's evaluation tables/figures via
+its :mod:`repro.experiments` runner, prints the rows/series, and asserts
+the qualitative *shape* (who wins, roughly by how much, where crossovers
+fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_FULL=1`` to run the experiments at full paper scale instead of
+the quick CI scale.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """False when REPRO_FULL=1 requests full-scale experiment runs."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture
+def run_experiment(benchmark, quick):
+    """Run an experiment under pytest-benchmark timing (one round)."""
+
+    def _run(runner, **kwargs):
+        kwargs.setdefault("quick", quick)
+        kwargs.setdefault("seed", 0)
+        result = benchmark.pedantic(
+            lambda: runner(**kwargs), rounds=1, iterations=1,
+        )
+        print()
+        print(result.render())
+        return result
+
+    return _run

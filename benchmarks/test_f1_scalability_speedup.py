@@ -1,0 +1,18 @@
+"""F1 — speedup vs cluster size (Montage, HDWS/HEFT/Min-Min)."""
+
+from repro.experiments import run_f1
+
+
+def test_f1_scalability_speedup(run_experiment):
+    result = run_experiment(run_f1)
+    hdws = result.series["speedup[hdws]"]
+    xs = sorted(hdws)
+
+    # Shape: speedup grows with nodes and eventually saturates
+    # (diminishing returns per doubling).
+    assert hdws[xs[-1]] > hdws[xs[0]]
+    gains = [hdws[b] / hdws[a] for a, b in zip(xs, xs[1:])]
+    assert gains[-1] < gains[0] + 0.5  # early doublings pay most
+    # HDWS saturates at least as high as Min-Min.
+    sat = result.notes["saturation"]
+    assert sat["hdws"] >= sat["minmin"] * 0.9

@@ -1,0 +1,20 @@
+"""F2 — makespan vs communication-to-computation ratio."""
+
+from repro.experiments import run_f2
+
+
+def test_f2_ccr_sweep(run_experiment):
+    result = run_experiment(run_f2)
+
+    # Shape: every scheduler slows down as CCR grows...
+    for sched in ("hdws", "heft", "minmin"):
+        series = result.series[f"makespan[{sched}]"]
+        xs = sorted(series)
+        assert series[xs[-1]] > series[xs[0]]
+    # ...and the communication-blind mappers degrade relative to HDWS.
+    gaps = result.notes["max_gap_vs_hdws"]
+    assert gaps["olb"] > 1.2
+    assert gaps["mct"] >= 1.0
+    # HDWS stays competitive with HEFT across the sweep.
+    vs_heft = result.series["vs-hdws[heft]"]
+    assert all(v >= 0.85 for v in vs_heft.values())

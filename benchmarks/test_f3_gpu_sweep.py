@@ -1,0 +1,23 @@
+"""F3 — makespan vs GPU count (accelerator marginal utility)."""
+
+from repro.experiments import run_f3
+
+
+def test_f3_gpu_sweep(run_experiment):
+    result = run_experiment(run_f3)
+    marginal = result.notes["marginal_utility"]
+
+    for wname, gains in marginal.items():
+        # Shape: the first GPU buys a large factor on accelerable suites,
+        # and marginal utility decays (Amdahl).
+        assert gains["first_gpu"] >= gains["last_gpu"] * 0.9, wname
+    # At least three of the five suites gain >2x from the first GPU.
+    big_winners = [
+        w for w, g in marginal.items() if g["first_gpu"] > 2.0
+    ]
+    assert len(big_winners) >= 3
+    # Makespan is monotone non-increasing in GPU count (within noise).
+    for label, series in result.series.items():
+        xs = sorted(series)
+        for a, b in zip(xs, xs[1:]):
+            assert series[b] <= series[a] * 1.10, label

@@ -1,0 +1,19 @@
+"""F4 — robustness to runtime-estimate error (static/dynamic/adaptive)."""
+
+from repro.experiments import run_f4
+
+
+def test_f4_estimate_error(run_experiment):
+    result = run_experiment(run_f4)
+    deg = result.notes["degradation_last_vs_first"]
+
+    # Shape: the static plan inherits every profiling mistake; the dynamic
+    # JIT mapper barely cares; adaptive sits at or below static.
+    assert deg["static"] > 1.05
+    assert deg["dynamic"] < deg["static"]
+    assert deg["adaptive"] <= deg["static"] * 1.02
+    # At zero error the planned modes beat (or match) pure dynamic.
+    static0 = result.series["makespan[static]"]
+    dynamic0 = result.series["makespan[dynamic]"]
+    x0 = sorted(static0)[0]
+    assert static0[x0] <= dynamic0[x0] * 1.05

@@ -1,0 +1,23 @@
+"""F5 — fault tolerance: makespan vs transient fault rate by policy."""
+
+from repro.experiments import run_f5
+
+
+def test_f5_faults(run_experiment):
+    result = run_experiment(run_f5)
+
+    # Shape: makespan degrades with fault rate under every policy.
+    for label in ("retry", "ckpt-fine", "ckpt-coarse"):
+        series = result.series[f"makespan[{label}]"]
+        xs = sorted(series)
+        assert series[xs[-1]] >= series[xs[0]] * 0.98, label
+    # Unprotected success collapses as the rate grows.
+    success = result.series["success-rate[none]"]
+    rates = sorted(success)
+    assert success[rates[0]] == 1.0
+    assert success[rates[-1]] < success[rates[0]]
+    # Fine checkpointing bounds the damage best at the highest rate.
+    retry = result.series["makespan[retry]"]
+    fine = result.series["makespan[ckpt-fine]"]
+    top = sorted(retry)[-1]
+    assert fine[top] <= retry[top] * 1.10

@@ -1,0 +1,22 @@
+"""F6 — data-staging traffic by scheduler (locality effect)."""
+
+from repro.experiments import run_f6
+
+
+def test_f6_data_traffic(run_experiment):
+    result = run_experiment(run_f6)
+    traffic = result.tables["data moved (MB)"]
+    makespan = result.tables["makespan (s)"]
+
+    for wf in traffic.rows:
+        row = traffic.row_values(wf)
+        # Shape: the locality tie-break never increases traffic...
+        assert row["hdws"] <= row["hdws-noloc"] * 1.001
+        # ...and the blind batch heuristic moves at least as much.
+        assert row["hdws"] <= row["minmin"] * 1.05
+    # Locality is makespan-neutral within its tolerance window.
+    for wf in makespan.rows:
+        row = makespan.row_values(wf)
+        assert row["hdws"] <= row["hdws-noloc"] * 1.25
+    # On Montage (many shareable intermediates) the saving is real.
+    assert result.notes["traffic_ratio_noloc_vs_loc"]["montage"] > 1.05

@@ -1,0 +1,19 @@
+"""F7 — energy/makespan Pareto front (alpha sweep)."""
+
+from repro.experiments import run_f7
+
+
+def test_f7_pareto(run_experiment):
+    result = run_experiment(run_f7)
+    makespan = result.series["makespan"]
+    energy = result.series["energy_j"]
+    alphas = sorted(makespan)
+
+    # Shape: the endpoints bracket the front.
+    assert makespan[alphas[-1]] <= makespan[alphas[0]]
+    assert energy[alphas[0]] <= energy[alphas[-1]]
+    # The front is a genuine trade-off: the greenest point saves >5%
+    # energy and the fastest point saves >5% makespan vs the other end.
+    assert energy[alphas[0]] < energy[alphas[-1]] * 0.95
+    assert makespan[alphas[-1]] < makespan[alphas[0]] * 0.95
+    assert result.notes["greenest_alpha"] == alphas[0]

@@ -1,0 +1,17 @@
+"""T1 — scheduler comparison table (makespan + SLR, 5 suites)."""
+
+from repro.experiments import run_t1
+
+
+def test_t1_scheduler_comparison(run_experiment):
+    result = run_experiment(run_t1)
+    geo = result.notes["geomean_makespan"]
+
+    # Shape: HDWS is at (or within 10% of) the front of the field.
+    assert geo["hdws"] <= min(geo.values()) * 1.10
+    # Informed list schedulers beat the naive mappers by a wide margin.
+    assert geo["hdws"] < geo["random"] * 0.5
+    assert geo["heft"] < geo["random"] * 0.5
+    # The batch heuristics sit between the two camps.
+    assert geo["hdws"] <= geo["minmin"] * 1.05
+    assert geo["minmin"] < geo["random"]

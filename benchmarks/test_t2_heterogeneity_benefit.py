@@ -1,0 +1,23 @@
+"""T2 — heterogeneity benefit ladder (CPU -> +GPU -> +GPU+FPGA)."""
+
+from repro.experiments import run_t2
+
+
+def test_t2_heterogeneity_benefit(run_experiment):
+    result = run_experiment(run_t2)
+    speedups = result.tables["speedup vs cpu-only"]
+
+    # Shape: accelerators help every suite, several-fold in geomean.
+    assert result.notes["gpu_speedup_geomean"] > 2.0
+    for wf in ("montage", "cybershake", "ligo"):
+        assert speedups.get(wf, "cpu+gpu") > 1.5
+    # The second accelerator class never hurts and helps where
+    # FPGA-preferring kernels exist (SIPHT's BLAST family).
+    for wf in speedups.rows:
+        if wf == "geo-mean":
+            continue
+        assert speedups.get(wf, "cpu+gpu+fpga") >= speedups.get(wf, "cpu+gpu") * 0.98
+    assert (
+        speedups.get("sipht", "cpu+gpu+fpga")
+        >= speedups.get("sipht", "cpu+gpu")
+    )

@@ -1,0 +1,16 @@
+"""T3 — energy comparison (HEFT vs HDWS vs energy-aware)."""
+
+from repro.experiments import run_t3
+
+
+def test_t3_energy(run_experiment):
+    result = run_experiment(run_t3)
+    geo_e = result.notes["geomean_energy"]
+    geo_m = result.notes["geomean_makespan"]
+
+    # Shape: stronger energy weighting saves more energy...
+    assert geo_e["ea-0.3"] < geo_e["ea-0.7"] < geo_e["heft"]
+    # ...at growing makespan cost.
+    assert geo_m["ea-0.3"] > geo_m["ea-0.7"] >= geo_m["heft"] * 0.95
+    # The energy-aware point saves a real amount, not noise.
+    assert geo_e["ea-0.3"] < geo_e["heft"] * 0.95

@@ -1,0 +1,20 @@
+"""T4 — ablation of the four HDWS mechanisms."""
+
+from repro.experiments import run_t4
+
+
+def test_t4_ablation(run_experiment):
+    result = run_experiment(run_t4)
+    vs_full = result.notes["geomean_vs_full"]
+    traffic = result.notes["traffic_geomean"]
+
+    # Shape: the full configuration is at worst marginally behind any
+    # single ablation (no mechanism is a net loss)...
+    for label, ratio in vs_full.items():
+        assert ratio >= 0.97, f"{label} beats full by too much ({ratio})"
+    # ...and removing everything never helps beyond runtime noise (the
+    # 0.1-CV noise floor on a single run is a few tenths of a percent).
+    assert vs_full["none"] >= 0.99
+    # The locality tie-break exists for traffic: removing it moves more
+    # bytes.
+    assert traffic["-locality"] > traffic["full"] * 1.02

@@ -1,0 +1,19 @@
+"""T5 — scheduling overhead vs DAG size (algorithm wall-clock)."""
+
+from repro.experiments import run_t5
+
+
+def test_t5_overhead(run_experiment):
+    result = run_experiment(run_t5)
+    table = result.tables["scheduling time (s)"]
+    growth = result.notes["growth_first_to_last"]
+
+    # Shape: every algorithm's cost grows with DAG size.
+    assert all(g > 1.0 for g in growth.values())
+    # The immediate-mode mapper stays the cheapest at the largest size.
+    biggest = table.rows[-1]
+    row = table.row_values(biggest)
+    assert row["mct"] <= row["heft"] * 1.5
+    assert row["mct"] <= row["peft"]
+    # Everything schedules a mid-size DAG in interactive time.
+    assert all(v < 60.0 for v in row.values())

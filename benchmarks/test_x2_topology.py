@@ -1,0 +1,19 @@
+"""X2 (extension) — interconnect-topology sensitivity bench."""
+
+from repro.experiments import run_x2
+
+
+def test_x2_topology_sensitivity(run_experiment):
+    result = run_experiment(run_x2)
+    makespan = result.tables["makespan (s)"]
+
+    # Shape: the data-heaviest suite is fabric-sensitive, the
+    # compute-chain suite barely notices.
+    spread = result.notes["makespan_spread"]
+    assert spread["cybershake"] > 1.1
+    assert spread["epigenomics"] < 1.2
+    # The tapered fat-tree is the costliest fabric for bulk data movement.
+    row = makespan.row_values("cybershake")
+    assert row["fat-tree"] >= max(
+        row["uniform"], row["dragonfly"]
+    ) * 0.99

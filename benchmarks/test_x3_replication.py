@@ -1,0 +1,23 @@
+"""X3 (extension) — replication vs retry vs checkpoint bench."""
+
+from repro.experiments import run_x3
+
+
+def test_x3_replication(run_experiment):
+    result = run_experiment(run_x3)
+    table = result.tables["recovery mechanisms @ rate 0.2"]
+
+    # Shape: every mechanism completes the run...
+    assert all(
+        table.get(label, "success") == 1.0 for label in table.rows
+    )
+    # ...replication buys retry-avoidance (fewer re-executions)...
+    assert result.notes["retry_reduction_2x"] > 1.2
+    assert table.get("replicate-3x", "retries") <= table.get(
+        "replicate-2x", "retries"
+    )
+    # ...and pays for it in preempted clones and energy.
+    assert table.get("replicate-2x", "preemptions") > 0
+    assert table.get("replicate-2x", "energy (J)") > table.get(
+        "retry", "energy (J)"
+    ) * 0.95

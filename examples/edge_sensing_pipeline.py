@@ -1,0 +1,85 @@
+"""Discovery at the edge: hand-built workflow on an IoT platform.
+
+Shows the workflow-construction API directly (no generator): a
+sensor-fusion pipeline where eight edge nodes each pre-filter their own
+sensor capture (DSP-friendly), a fusion step joins them, and an anomaly
+model scores the result.  The edge preset's 12.5 MB/s links make data
+locality the whole ballgame — compare HDWS (locality tie-break) against
+plain HEFT on bytes moved.
+
+Run:  python examples/edge_sensing_pipeline.py
+"""
+
+from repro import compare_schedulers
+from repro.platform import presets
+from repro.platform.devices import DeviceClass
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, Task
+
+
+def build_pipeline(n_sensors: int = 8) -> Workflow:
+    """One capture per edge node -> per-sensor filter -> fuse -> score."""
+    wf = Workflow(f"edge-sensing-{n_sensors}")
+    filtered = []
+    for i in range(n_sensors):
+        # Each capture is *born on its edge node* — staging it anywhere
+        # else costs real network time, so placement should follow data.
+        capture = wf.add_file(DataFile(
+            f"capture_{i}.raw", 120.0, initial=True, location=f"edge{i}"
+        ))
+        filt = wf.add_file(DataFile(f"filtered_{i}.npz", 6.0))
+        filtered.append(filt)
+        # The filter is a classic DSP kernel: 8x on a DSP, CPU-capable.
+        wf.add_task(Task(
+            name=f"prefilter_{i}",
+            work=20.0,
+            affinity={DeviceClass.DSP: 8.0},
+            inputs=(capture.name,),
+            outputs=(filt.name,),
+            category="prefilter",
+            memory_gb=0.5,
+        ))
+
+    fused = wf.add_file(DataFile("fused.npz", 30.0))
+    wf.add_task(Task(
+        name="fuse",
+        work=15.0,
+        inputs=tuple(f.name for f in filtered),
+        outputs=(fused.name,),
+        category="fuse",
+        memory_gb=1.0,
+    ))
+
+    scores = wf.add_file(DataFile("anomaly_scores.json", 0.1))
+    wf.add_task(Task(
+        name="score",
+        work=40.0,
+        affinity={DeviceClass.DSP: 4.0},
+        inputs=(fused.name,),
+        outputs=(scores.name,),
+        category="score",
+        memory_gb=1.0,
+    ))
+    return wf
+
+
+def main() -> None:
+    workflow = build_pipeline()
+    cluster = presets.edge_cluster(devices=8)
+    print(f"workflow: {workflow.name} — {workflow.n_tasks} tasks")
+    print(f"platform: {cluster.describe()}")
+    print("links   : 12.5 MB/s (100 Mb) — locality decides everything\n")
+
+    results = compare_schedulers(
+        workflow, cluster,
+        ["hdws", "heft", "roundrobin", "random"],  # cost-aware vs blind
+        seed=4, noise_cv=0.1,
+    )
+    print(f"{'scheduler':10s} {'makespan':>9s} {'moved MB':>9s}")
+    for name, result in results.items():
+        moved = result.execution.network_mb + result.execution.staging_mb
+        print(f"{name:10s} {result.makespan:9.2f} {moved:9.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Running a campaign ensemble: many workflows, one platform.
+
+A discovery campaign rarely owns a cluster alone.  This example submits
+three different analyses — an image mosaic, a sequence search and an sRNA
+annotation — as one ensemble, and compares the three sharing disciplines:
+
+* sequential (one at a time, submit order),
+* priority (urgent analysis first),
+* shared (space-shared super-DAG — the throughput play).
+
+Run:  python examples/ensemble_campaign.py
+"""
+
+from repro.analysis.compare import ComparisonTable
+from repro.core.ensemble import EnsembleMember, EnsembleRunner
+from repro.core.orchestrator import RunConfig
+from repro.platform import presets
+from repro.workflows.generators import blast, montage, sipht
+
+
+def main() -> None:
+    members = [
+        EnsembleMember("mosaic", montage(size=40, seed=1), priority=1.0),
+        EnsembleMember("search", blast(size=30, seed=2), priority=3.0),
+        EnsembleMember("srna", sipht(size=30, seed=3), priority=2.0),
+    ]
+    cluster = presets.hybrid_cluster(nodes=4)
+    runner = EnsembleRunner(cluster, RunConfig(seed=1, noise_cv=0.1))
+
+    print(f"platform: {cluster.describe()}")
+    for m in members:
+        print(f"member {m.member_id!r}: {m.workflow.n_tasks} tasks, "
+              f"priority {m.priority:g}")
+
+    table = ComparisonTable("discipline")
+    for discipline in ("sequential", "priority", "shared"):
+        res = runner.run(members, discipline=discipline)
+        table.set(discipline, "makespan (s)", res.makespan)
+        table.set(discipline, "mean slowdown", res.mean_slowdown)
+        table.set(discipline, "energy (kJ)", res.energy_j / 1000.0)
+        table.set(discipline, "throughput (wf/s)", res.throughput())
+    print()
+    print(table.render())
+    print("\nReading: 'shared' packs the platform (best makespan and "
+          "throughput); 'priority' gets the urgent member out first at "
+          "the cost of the others; 'sequential' is the latency baseline "
+          "for whoever submitted first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""AI-for-science campaign: how much heterogeneity buys, and at what energy.
+
+The motivating workload of the paper's introduction: an ML training
+pipeline (ingest → preprocess → featurize → k-fold train → select →
+final train).  This example:
+
+1. runs the pipeline on three platforms of growing heterogeneity
+   (CPU-only, +GPU, +GPU+FPGA) and reports the speedup ladder, then
+2. on the GPU platform, trades makespan for energy with the
+   energy-aware scheduler across three alpha settings.
+
+Run:  python examples/ml_discovery_campaign.py
+"""
+
+from repro import run_workflow
+from repro.analysis.compare import ComparisonTable
+from repro.energy.governor import DeepSleepGovernor
+from repro.platform import presets
+from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
+from repro.workflows.generators import ml_pipeline
+
+
+def heterogeneity_ladder(workflow) -> None:
+    platforms = {
+        "cpu-only": presets.cpu_cluster(nodes=2, cores_per_node=8),
+        "cpu+gpu": presets.hybrid_cluster(nodes=2, cores_per_node=8,
+                                          gpus_per_node=2),
+        "cpu+gpu+fpga": presets.accelerator_rich_cluster(
+            nodes=2, cores_per_node=8, gpus_per_node=2, fpgas_per_node=1),
+    }
+    table = ComparisonTable("platform")
+    base = None
+    for label, cluster in platforms.items():
+        result = run_workflow(workflow, cluster, scheduler="hdws",
+                              seed=7, noise_cv=0.1)
+        base = base or result.makespan
+        table.set(label, "makespan (s)", result.makespan)
+        table.set(label, "speedup", base / result.makespan)
+        table.set(label, "energy (J)", result.energy.total_joules)
+    print("— heterogeneity ladder —")
+    print(table.render())
+
+
+def energy_tradeoff(workflow) -> None:
+    governor = DeepSleepGovernor(threshold_s=1.0)
+    table = ComparisonTable("alpha")
+    for alpha in (1.0, 0.6, 0.2):
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=8,
+                                         gpus_per_node=2, dvfs=True)
+        result = run_workflow(
+            workflow, cluster,
+            scheduler=EnergyAwareHeftScheduler(alpha=alpha),
+            seed=7, noise_cv=0.1, governor=governor,
+        )
+        table.set(f"{alpha:.1f}", "makespan (s)", result.makespan)
+        table.set(f"{alpha:.1f}", "energy (J)", result.energy.total_joules)
+        table.set(f"{alpha:.1f}", "EDP", result.energy.edp)
+    print("\n— energy/makespan trade-off (alpha = weight on time) —")
+    print(table.render())
+
+
+def main() -> None:
+    workflow = ml_pipeline(n_shards=8, n_folds=5, seed=3)
+    print(f"workflow: {workflow.name} — {workflow.n_tasks} tasks "
+          f"({workflow.total_work():.0f} Gop total)")
+    heterogeneity_ladder(workflow)
+    energy_tradeoff(workflow)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e . --no-build-isolation` on
+environments without the `wheel` package (offline build hosts)."""
+from setuptools import setup
+
+setup()

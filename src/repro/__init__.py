@@ -1,0 +1,33 @@
+"""repro — heterogeneous computing systems for complex scientific discovery workflows.
+
+A full reproduction library: a discrete-event heterogeneous platform
+simulator, structure-faithful scientific workflow generators, a zoo of
+classical heterogeneous schedulers, and the HDWS orchestrator (the paper's
+contribution) with data-locality, accelerator-affinity, lookahead and
+runtime-adaptive mechanisms — plus energy, fault and data-management
+substrates and a benchmark harness regenerating every evaluation table and
+figure.
+
+Quickstart::
+
+    from repro import run_workflow
+    from repro.workflows.generators import montage
+    from repro.platform import presets
+
+    result = run_workflow(montage(size=100), presets.hybrid_cluster())
+    print(result.summary())
+"""
+
+from repro.core.api import compare_schedulers, run_workflow
+from repro.core.orchestrator import Orchestrator, RunConfig, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_workflow",
+    "compare_schedulers",
+    "Orchestrator",
+    "RunConfig",
+    "RunResult",
+    "__version__",
+]

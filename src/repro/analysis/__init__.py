@@ -1,0 +1,38 @@
+"""Metrics, comparison tables, Gantt rendering and statistics.
+
+* :mod:`~repro.analysis.metrics` — the standard workflow-scheduling
+  figures of merit (makespan, SLR, speedup, efficiency, utilization).
+* :mod:`~repro.analysis.stats` — repetition statistics (means, CIs,
+  geometric means) used by the benchmark harness.
+* :mod:`~repro.analysis.compare` — multi-run comparison tables.
+* :mod:`~repro.analysis.gantt` — ASCII Gantt charts from traces.
+* :mod:`~repro.analysis.report` — plain-text table formatting.
+"""
+
+from repro.analysis.metrics import (
+    average_utilization,
+    efficiency,
+    makespan_of,
+    schedule_length_ratio,
+    serial_time,
+    speedup,
+)
+from repro.analysis.stats import confidence_interval, geometric_mean, summarize
+from repro.analysis.compare import ComparisonTable
+from repro.analysis.gantt import ascii_gantt
+from repro.analysis.report import format_table
+
+__all__ = [
+    "makespan_of",
+    "schedule_length_ratio",
+    "serial_time",
+    "speedup",
+    "efficiency",
+    "average_utilization",
+    "confidence_interval",
+    "geometric_mean",
+    "summarize",
+    "ComparisonTable",
+    "ascii_gantt",
+    "format_table",
+]

@@ -1,0 +1,121 @@
+"""Post-run breakdowns: where did the time, work and bytes go?
+
+Answers the profiling questions an operator asks after a campaign run:
+which *stage* dominated (per-category busy time), which *device class*
+carried the work, and how utilization splits across the platform —
+computed from the execution trace and device intervals, presentable as
+text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.report import format_table
+from repro.platform.cluster import Cluster
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class CategoryBreakdown:
+    """Aggregates for one task category."""
+
+    category: str
+    tasks: int = 0
+    busy_seconds: float = 0.0
+    energy_j: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average execution time per task of this category."""
+        return self.busy_seconds / self.tasks if self.tasks else 0.0
+
+
+def by_category(trace: TraceRecorder) -> Dict[str, CategoryBreakdown]:
+    """Per-category busy time and energy from ``task.finish`` records."""
+    out: Dict[str, CategoryBreakdown] = {}
+    for rec in trace.of_kind("task.finish"):
+        cat = rec.get("category", "unknown")
+        entry = out.setdefault(cat, CategoryBreakdown(cat))
+        entry.tasks += 1
+        entry.busy_seconds += float(rec.get("duration", 0.0))
+        entry.energy_j += float(rec.get("energy_j", 0.0))
+    return out
+
+
+def by_device_class(
+    cluster: Cluster, trace: TraceRecorder
+) -> Dict[str, Dict[str, float]]:
+    """Per-device-class task counts and busy seconds."""
+    class_of = {d.uid: str(d.device_class) for d in cluster.devices}
+    out: Dict[str, Dict[str, float]] = {}
+    for rec in trace.of_kind("task.finish"):
+        cls = class_of.get(rec.get("device"), "unknown")
+        entry = out.setdefault(cls, {"tasks": 0.0, "busy_s": 0.0})
+        entry["tasks"] += 1
+        entry["busy_s"] += float(rec.get("duration", 0.0))
+    return out
+
+
+def transfer_summary(trace: TraceRecorder) -> Dict[str, float]:
+    """Bytes moved, split by source kind (peer node vs shared storage)."""
+    peer = 0.0
+    storage = 0.0
+    for rec in trace.of_kind("transfer.start"):
+        size = float(rec.get("size_mb", 0.0))
+        if rec.get("src") == "<storage>":
+            storage += size
+        else:
+            peer += size
+    return {
+        "peer_mb": peer,
+        "storage_mb": storage,
+        "total_mb": peer + storage,
+    }
+
+
+def render_breakdown(
+    cluster: Cluster,
+    trace: TraceRecorder,
+    makespan: Optional[float] = None,
+) -> str:
+    """One human-readable profiling report for a finished run."""
+    chunks = []
+
+    cats = sorted(by_category(trace).values(),
+                  key=lambda c: -c.busy_seconds)
+    chunks.append(format_table(
+        ["category", "tasks", "busy (s)", "mean (s)", "energy (J)"],
+        [[c.category, c.tasks, c.busy_seconds, c.mean_seconds, c.energy_j]
+         for c in cats],
+        title="-- busy time by task category --",
+    ))
+
+    classes = by_device_class(cluster, trace)
+    chunks.append(format_table(
+        ["class", "tasks", "busy (s)"],
+        [[cls, int(v["tasks"]), v["busy_s"]]
+         for cls, v in sorted(classes.items())],
+        title="-- work by device class --",
+    ))
+
+    if makespan and makespan > 0:
+        from repro.analysis.metrics import per_class_utilization
+
+        util = per_class_utilization(cluster, makespan)
+        chunks.append(format_table(
+            ["class", "utilization"],
+            [[cls, u] for cls, u in sorted(util.items())],
+            title="-- utilization by device class --",
+        ))
+
+    moved = transfer_summary(trace)
+    chunks.append(format_table(
+        ["source", "MB"],
+        [["peer nodes", moved["peer_mb"]],
+         ["shared storage", moved["storage_mb"]],
+         ["total", moved["total_mb"]]],
+        title="-- data movement --",
+    ))
+    return "\n\n".join(chunks)

@@ -1,0 +1,111 @@
+"""Multi-run comparison tables.
+
+:class:`ComparisonTable` accumulates (row, column) -> value measurements —
+typically (workflow, scheduler) -> makespan — and renders/normalizes them.
+It is the backbone of the T1/T2/T3 tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import geometric_mean
+
+
+class ComparisonTable:
+    """A (row x column) table of numeric measurements."""
+
+    def __init__(self, row_label: str = "workflow") -> None:
+        self.row_label = row_label
+        self._rows: List[str] = []
+        self._cols: List[str] = []
+        self._values: Dict[tuple, float] = {}
+
+    def set(self, row: str, col: str, value: float) -> None:
+        """Record one cell (overwrites)."""
+        if row not in self._rows:
+            self._rows.append(row)
+        if col not in self._cols:
+            self._cols.append(col)
+        self._values[(row, col)] = float(value)
+
+    def get(self, row: str, col: str) -> float:
+        """One cell's value; KeyError if missing."""
+        return self._values[(row, col)]
+
+    @property
+    def rows(self) -> List[str]:
+        """Row keys in insertion order."""
+        return list(self._rows)
+
+    @property
+    def columns(self) -> List[str]:
+        """Column keys in insertion order."""
+        return list(self._cols)
+
+    def row_values(self, row: str) -> Dict[str, float]:
+        """All cells of one row as {column: value}."""
+        return {
+            c: self._values[(row, c)]
+            for c in self._cols
+            if (row, c) in self._values
+        }
+
+    def column_values(self, col: str) -> Dict[str, float]:
+        """All cells of one column as {row: value}."""
+        return {
+            r: self._values[(r, col)]
+            for r in self._rows
+            if (r, col) in self._values
+        }
+
+    def normalized(self, reference_col: str) -> "ComparisonTable":
+        """A copy with every row divided by its reference-column cell."""
+        out = ComparisonTable(self.row_label)
+        for r in self._rows:
+            ref = self._values.get((r, reference_col))
+            if ref is None or ref == 0:
+                raise ValueError(
+                    f"row {r!r} lacks a usable reference cell {reference_col!r}"
+                )
+            for c in self._cols:
+                if (r, c) in self._values:
+                    out.set(r, c, self._values[(r, c)] / ref)
+        return out
+
+    def with_geomean_row(self, label: str = "geo-mean") -> "ComparisonTable":
+        """A copy with an appended geometric-mean summary row."""
+        out = ComparisonTable(self.row_label)
+        for r in self._rows:
+            for c, v in self.row_values(r).items():
+                out.set(r, c, v)
+        for c in self._cols:
+            col = self.column_values(c)
+            if col and all(v > 0 for v in col.values()):
+                out.set(label, c, geometric_mean(col.values()))
+        return out
+
+    def best_column_per_row(self, minimize: bool = True) -> Dict[str, str]:
+        """Winner column of each row."""
+        out: Dict[str, str] = {}
+        for r in self._rows:
+            vals = self.row_values(r)
+            if vals:
+                key = min if minimize else max
+                out[r] = key(vals, key=lambda c: (vals[c], c))
+        return out
+
+    def render(self, precision: int = 3, title: Optional[str] = None) -> str:
+        """Text rendering via :func:`repro.analysis.report.format_table`."""
+        headers = [self.row_label] + self._cols
+        rows = []
+        for r in self._rows:
+            row: List[Any] = [r]
+            for c in self._cols:
+                row.append(self._values.get((r, c), float("nan")))
+            rows.append(row)
+        return format_table(headers, rows, precision=precision, title=title)
+
+    def __str__(self) -> str:
+        return self.render()

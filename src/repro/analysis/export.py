@@ -1,0 +1,107 @@
+"""Machine-readable exports of experiment artefacts.
+
+Tables render to CSV, run results flatten to JSON-safe dicts, and traces
+stream to JSON-lines — the formats downstream notebooks and plotting
+scripts actually consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Optional
+
+from repro.analysis.compare import ComparisonTable
+from repro.sim.trace import TraceRecorder
+
+
+def table_to_csv(table: ComparisonTable, path: Optional[str] = None) -> str:
+    """Render a comparison table as CSV (written to ``path`` if given)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([table.row_label] + table.columns)
+    for row in table.rows:
+        values = table.row_values(row)
+        writer.writerow(
+            [row] + [values.get(c, "") for c in table.columns]
+        )
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(text)
+    return text
+
+
+def table_from_csv(text: str) -> ComparisonTable:
+    """Parse a CSV produced by :func:`table_to_csv`."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise ValueError("empty CSV")
+    header = rows[0]
+    table = ComparisonTable(header[0])
+    for row in rows[1:]:
+        for col, cell in zip(header[1:], row[1:]):
+            if cell != "":
+                table.set(row[0], col, float(cell))
+    return table
+
+
+def run_result_to_dict(result) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.core.orchestrator.RunResult` to JSON-safe data."""
+    execution = result.execution
+    return {
+        "workflow": result.workflow,
+        "cluster": result.cluster,
+        "mode": result.config.mode,
+        "scheduler": (
+            result.config.scheduler
+            if isinstance(result.config.scheduler, str)
+            else result.config.scheduler.name
+        ),
+        "seed": result.config.seed,
+        "summary": result.summary(),
+        "tasks": {
+            name: {
+                "state": rec.state,
+                "device": rec.device,
+                "start": rec.start,
+                "finish": rec.finish,
+                "attempts": rec.attempts,
+                "faults": rec.faults,
+            }
+            for name, rec in execution.records.items()
+        },
+        "energy": {
+            uid: {
+                "busy_s": d.busy_seconds,
+                "idle_s": d.idle_seconds,
+                "busy_j": d.busy_joules,
+                "idle_j": d.idle_joules,
+            }
+            for uid, d in result.energy.devices.items()
+        },
+    }
+
+
+def run_result_to_json(result, path: Optional[str] = None, indent: int = 2) -> str:
+    """Serialize a run result to JSON (written to ``path`` if given)."""
+    text = json.dumps(run_result_to_dict(result), indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+def trace_to_jsonl(trace: TraceRecorder, path: Optional[str] = None) -> str:
+    """Serialize a trace as JSON-lines, one record per line."""
+    lines = [
+        json.dumps({"time": r.time, "kind": r.kind, **r.data}, sort_keys=True)
+        for r in trace
+    ]
+    text = "\n".join(lines)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text

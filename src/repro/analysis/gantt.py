@@ -1,0 +1,73 @@
+"""ASCII Gantt charts from execution traces.
+
+Renders one row per device with task occupancy over virtual time — the
+quickest way to eyeball a schedule's shape in a terminal or a test log::
+
+    n0:cpu-std#0 |##m0##....##m3##########..........|
+    n0:gpu-std#0 |...####Seismo####...####Seismo####|
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import TraceRecorder
+
+
+def _collect_intervals(trace: TraceRecorder) -> Dict[str, List[Tuple[float, float, str]]]:
+    """Per-device (start, end, task) execution intervals from a trace."""
+    starts: Dict[Tuple[str, str, int], float] = {}
+    attempt_counter: Dict[Tuple[str, str], int] = {}
+    out: Dict[str, List[Tuple[float, float, str]]] = {}
+    for rec in trace:
+        if rec.kind == "task.start":
+            key = (rec.get("task"), rec.get("device"))
+            n = attempt_counter.get(key, 0)
+            attempt_counter[key] = n + 1
+            starts[(key[0], key[1], n)] = rec.time
+        elif rec.kind in ("task.finish", "fault.task"):
+            task, device = rec.get("task"), rec.get("device")
+            if device is None:
+                continue
+            key = (task, device)
+            n = attempt_counter.get(key, 1) - 1
+            start = starts.pop((task, device, n), None)
+            if start is None:
+                continue
+            out.setdefault(device, []).append((start, rec.time, task))
+    for dev in out:
+        out[dev].sort()
+    return out
+
+
+def ascii_gantt(
+    trace: TraceRecorder,
+    width: int = 72,
+    makespan: Optional[float] = None,
+) -> str:
+    """Render the trace as an ASCII Gantt chart (one line per device)."""
+    intervals = _collect_intervals(trace)
+    if not intervals:
+        return "(empty trace)"
+    if makespan is None:
+        makespan = max(e for ivs in intervals.values() for _s, e, _t in ivs)
+    if makespan <= 0:
+        return "(zero-length run)"
+
+    label_width = max(len(d) for d in intervals)
+    lines: List[str] = [
+        f"{'device'.ljust(label_width)} |{'time -> %.3fs' % makespan}",
+    ]
+    for device in sorted(intervals):
+        row = [" "] * width
+        for start, end, task in intervals[device]:
+            a = int(start / makespan * (width - 1))
+            b = max(a + 1, int(end / makespan * (width - 1)) + 1)
+            b = min(b, width)
+            span = b - a
+            label = task[: max(0, span - 2)]
+            fill = ("#" + label + "#" * span)[:span]
+            for i, ch in enumerate(fill):
+                row[a + i] = ch
+        lines.append(f"{device.ljust(label_width)} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Standard workflow-scheduling figures of merit.
+
+Definitions follow the heterogeneous-scheduling literature:
+
+* **Makespan** — completion time of the last exit task.
+* **SLR** (schedule length ratio) — makespan over the minimum possible
+  critical-path time (each critical task on its best device, zero
+  communication).  SLR >= 1 always; closer to 1 is better, and SLR is
+  comparable across workflows of different scale.
+* **Speedup** — serial time (whole workflow on the single best device
+  able to run everything, or per-task best CPU) over makespan.
+* **Efficiency** — speedup per device.
+* **Utilization** — busy fraction of the devices over the makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.platform.cluster import Cluster
+from repro.platform.devices import DeviceClass
+from repro.schedulers.base import SchedulingContext
+from repro.workflows.graph import Workflow
+
+
+def makespan_of(result) -> float:
+    """Makespan of a RunResult / ExecutionResult / Schedule."""
+    return float(getattr(result, "makespan"))
+
+
+def critical_path_best_time(context: SchedulingContext) -> float:
+    """Length of the critical path with every task on its best device.
+
+    The classical SLR denominator: communication is ignored and each task
+    contributes its minimum execution time.
+    """
+    wf = context.workflow
+    best: Dict[str, float] = {}
+    for name in wf.topological_order():
+        incoming = max(
+            (best[p] for p in wf.predecessors(name)), default=0.0
+        )
+        best[name] = incoming + context.best_exec(name)
+    return max(best.values(), default=0.0)
+
+
+def schedule_length_ratio(makespan: float, context: SchedulingContext) -> float:
+    """SLR = makespan / best-case critical path time."""
+    denom = critical_path_best_time(context)
+    if denom <= 0:
+        return float("inf") if makespan > 0 else 1.0
+    return makespan / denom
+
+
+def serial_time(
+    workflow: Workflow, cluster: Cluster, cpu_only: bool = True
+) -> float:
+    """Time to run the whole workflow serially.
+
+    With ``cpu_only`` (the conventional speedup baseline) each task runs
+    on the fastest CPU; otherwise each task takes its global best time.
+    """
+    model = cluster.execution_model
+    total = 0.0
+    for task in workflow.tasks.values():
+        candidates = []
+        for d in cluster.devices:
+            if cpu_only and d.device_class != DeviceClass.CPU:
+                continue
+            if model.eligible(task, d.spec) and d.spec.memory_gb >= task.memory_gb:
+                candidates.append(model.estimate(task, d.spec))
+        if not candidates:
+            # CPU-ineligible task: fall back to its global best device.
+            candidates = [
+                model.estimate(task, d.spec)
+                for d in cluster.devices
+                if model.eligible(task, d.spec)
+            ]
+        total += min(candidates)
+    return total
+
+
+def speedup(
+    makespan: float, workflow: Workflow, cluster: Cluster, cpu_only: bool = True
+) -> float:
+    """Serial time over makespan."""
+    if makespan <= 0:
+        return float("inf")
+    return serial_time(workflow, cluster, cpu_only) / makespan
+
+
+def efficiency(
+    makespan: float, workflow: Workflow, cluster: Cluster,
+    cpu_only: bool = True,
+) -> float:
+    """Speedup per device."""
+    n = len(cluster.devices)
+    if n == 0:
+        return 0.0
+    return speedup(makespan, workflow, cluster, cpu_only) / n
+
+
+def average_utilization(cluster: Cluster, makespan: float) -> float:
+    """Mean busy fraction over all devices for a finished run."""
+    if makespan <= 0 or not cluster.devices:
+        return 0.0
+    return sum(d.utilization(makespan) for d in cluster.devices) / len(
+        cluster.devices
+    )
+
+
+def per_class_utilization(
+    cluster: Cluster, makespan: float
+) -> Dict[str, float]:
+    """Mean busy fraction per device class."""
+    if makespan <= 0:
+        return {}
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for d in cluster.devices:
+        key = str(d.device_class)
+        sums[key] = sums.get(key, 0.0) + d.utilization(makespan)
+        counts[key] = counts.get(key, 0) + 1
+    return {k: sums[k] / counts[k] for k in sums}

@@ -1,0 +1,68 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benches print their tables with :func:`format_table`, which renders a
+GitHub-style grid from a header row plus value rows, right-aligning
+numbers and keeping column widths stable across rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Numbers are formatted to ``precision`` and right-aligned; everything
+    else is left-aligned.  Returns the table as one string (no trailing
+    newline).
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        cells = []
+        for i, value in enumerate(row):
+            cells.append(_fmt(value, precision))
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                numeric[i] = False
+        rendered.append(cells)
+
+    widths = [
+        max(len(r[i]) for r in rendered) for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for irow, cells in enumerate(rendered):
+        padded = []
+        for i, cell in enumerate(cells):
+            if numeric[i] and irow > 0:
+                padded.append(cell.rjust(widths[i]))
+            else:
+                padded.append(cell.ljust(widths[i]))
+        lines.append(" | ".join(padded))
+        if irow == 0:
+            lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Repetition statistics for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread and range of one repeated measurement."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat-dict view for table assembly."""
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "ci95": self.ci95,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample (ddof=1 std; normal-approx CI)."""
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(vals.mean())
+    std = float(vals.std(ddof=1)) if vals.size > 1 else 0.0
+    ci95 = 1.96 * std / math.sqrt(vals.size) if vals.size > 1 else 0.0
+    return Summary(
+        n=int(vals.size),
+        mean=mean,
+        std=std,
+        ci95=ci95,
+        minimum=float(vals.min()),
+        maximum=float(vals.max()),
+    )
+
+
+def confidence_interval(values: Sequence[float]) -> float:
+    """Half-width of the 95% normal-approximation CI."""
+    return summarize(values).ci95
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the right way to average ratios like SLR)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot take the geometric mean of nothing")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def normalized_to(values: Dict[str, float], reference: str) -> Dict[str, float]:
+    """Normalize a metric dict to one of its keys (reference -> 1.0)."""
+    if reference not in values:
+        raise KeyError(f"reference {reference!r} not among {sorted(values)}")
+    ref = values[reference]
+    if ref == 0:
+        raise ValueError("reference value is zero")
+    return {k: v / ref for k, v in values.items()}
+
+
+def rank_order(values: Dict[str, float], ascending: bool = True) -> List[str]:
+    """Keys sorted by value (ties broken by key for determinism)."""
+    return sorted(values, key=lambda k: (values[k] if ascending else -values[k], k))

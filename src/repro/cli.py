@@ -1,0 +1,218 @@
+"""Command-line interface: ``repro-flow``.
+
+Subcommands:
+
+* ``run`` — execute one workflow on a preset cluster and print the
+  summary (optionally an ASCII Gantt chart).
+* ``compare`` — run several schedulers on the same workflow and print a
+  comparison table.
+* ``exp`` — run one of the paper's experiments (t1..t5, f1..f7) and print
+  its tables/series.
+* ``generate`` — emit a workflow as JSON for inspection or reuse.
+* ``list`` — show available workflows, schedulers, presets, experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import repro.core  # noqa: F401  (registers hdws in the scheduler registry)
+from repro import compare_schedulers, run_workflow
+from repro.analysis.compare import ComparisonTable
+from repro.analysis.gantt import ascii_gantt
+from repro.experiments import REGISTRY as EXPERIMENTS
+from repro.platform import presets
+from repro.schedulers import REGISTRY as SCHEDULERS
+from repro.workflows.generators import ALL_GENERATORS, by_name
+from repro.workflows.serialize import workflow_to_json
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workflow", default="montage", choices=sorted(ALL_GENERATORS))
+    parser.add_argument("--size", type=int, default=50, help="approximate task count")
+    parser.add_argument("--cluster", default="hybrid", choices=sorted(presets.PRESETS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--noise", type=float, default=0.1, help="runtime noise CV")
+
+
+def _make_inputs(args):
+    wf = by_name(args.workflow, size=args.size, seed=args.seed)
+    cluster = presets.by_name(args.cluster)
+    return wf, cluster
+
+
+def cmd_run(args) -> int:
+    """Execute one workflow and print its summary."""
+    wf, cluster = _make_inputs(args)
+    result = run_workflow(
+        wf, cluster, scheduler=args.scheduler, mode=args.mode,
+        seed=args.seed, noise_cv=args.noise,
+    )
+    print(f"workflow : {wf.name} ({wf.n_tasks} tasks, {wf.n_edges} edges)")
+    print(f"cluster  : {cluster.describe()}")
+    print(f"scheduler: {args.scheduler} [{args.mode}]")
+    for key, value in result.summary().items():
+        print(f"{key:12s}: {value:.3f}")
+    if args.gantt:
+        print()
+        print(ascii_gantt(result.execution.trace))
+    if args.breakdown:
+        from repro.analysis.breakdown import render_breakdown
+
+        print()
+        print(render_breakdown(cluster, result.execution.trace,
+                               result.makespan))
+    return 0 if result.success else 1
+
+
+def cmd_compare(args) -> int:
+    """Compare schedulers on one workflow."""
+    wf, cluster = _make_inputs(args)
+    names = args.schedulers.split(",")
+    for name in names:
+        if name not in SCHEDULERS:
+            print(f"unknown scheduler {name!r}; see `repro-flow list`", file=sys.stderr)
+            return 2
+    results = compare_schedulers(
+        wf, cluster, names, seed=args.seed, noise_cv=args.noise
+    )
+    table = ComparisonTable("metric")
+    for name, result in results.items():
+        table.set("makespan (s)", name, result.makespan)
+        table.set("energy (J)", name, result.energy.total_joules)
+        table.set("data moved (MB)", name,
+                  result.execution.network_mb + result.execution.staging_mb)
+    print(f"{wf.name} on {cluster.describe()}")
+    print(table.render())
+    return 0
+
+
+def cmd_exp(args) -> int:
+    """Run one paper experiment and print its rendering."""
+    runner = EXPERIMENTS[args.id]
+    result = runner(quick=not args.full, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """Emit a workflow document as JSON."""
+    wf = by_name(args.workflow, size=args.size, seed=args.seed)
+    text = workflow_to_json(wf)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {wf.n_tasks}-task workflow to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_ensemble(args) -> int:
+    """Run a small ensemble under every sharing discipline."""
+    from repro.core.ensemble import DISCIPLINES, EnsembleMember, EnsembleRunner
+    from repro.core.orchestrator import RunConfig
+
+    members = []
+    for i, spec in enumerate(args.members.split(",")):
+        gen_name, _sep, size_text = spec.partition(":")
+        if gen_name not in ALL_GENERATORS:
+            print(f"unknown workflow {gen_name!r}; see `repro-flow list`",
+                  file=sys.stderr)
+            return 2
+        size = int(size_text) if size_text else args.size
+        members.append(EnsembleMember(
+            f"{gen_name}{i}",
+            by_name(gen_name, size=size, seed=args.seed + i),
+            priority=float(len(args.members) - i),
+        ))
+    cluster = presets.by_name(args.cluster)
+    runner = EnsembleRunner(
+        cluster, RunConfig(seed=args.seed, noise_cv=args.noise)
+    )
+    table = ComparisonTable("discipline")
+    for discipline in DISCIPLINES:
+        res = runner.run(members, discipline=discipline)
+        table.set(discipline, "makespan (s)", res.makespan)
+        table.set(discipline, "mean slowdown", res.mean_slowdown)
+        table.set(discipline, "throughput (wf/s)", res.throughput())
+    print(f"{len(members)} members on {cluster.describe()}")
+    print(table.render())
+    return 0
+
+
+def cmd_list(_args) -> int:
+    """Show everything addressable by name."""
+    print("workflows :", ", ".join(sorted(ALL_GENERATORS)))
+    print("schedulers:", ", ".join(sorted(SCHEDULERS)))
+    print("clusters  :", ", ".join(sorted(presets.PRESETS)))
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description="Heterogeneous discovery-workflow orchestration testbed",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute one workflow")
+    _add_common(p_run)
+    p_run.add_argument("--scheduler", default="hdws", choices=sorted(SCHEDULERS))
+    p_run.add_argument("--mode", default="static",
+                       choices=("static", "dynamic", "adaptive"))
+    p_run.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
+    p_run.add_argument("--breakdown", action="store_true",
+                       help="print per-category/class profiling tables")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare schedulers")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--schedulers", default="hdws,heft,minmin,mct")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_exp = sub.add_parser("exp", help="run a paper experiment")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--full", action="store_true",
+                       help="full-size run (slower)")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.set_defaults(func=cmd_exp)
+
+    p_gen = sub.add_parser("generate", help="emit a workflow as JSON")
+    p_gen.add_argument("--workflow", default="montage",
+                       choices=sorted(ALL_GENERATORS))
+    p_gen.add_argument("--size", type=int, default=50)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--output", default=None)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_ens = sub.add_parser("ensemble", help="run an ensemble of workflows")
+    p_ens.add_argument(
+        "--members", default="montage,blast,sipht",
+        help="comma-separated generators, each optionally name:size",
+    )
+    p_ens.add_argument("--size", type=int, default=30)
+    p_ens.add_argument("--cluster", default="hybrid",
+                       choices=sorted(presets.PRESETS))
+    p_ens.add_argument("--seed", type=int, default=0)
+    p_ens.add_argument("--noise", type=float, default=0.1)
+    p_ens.set_defaults(func=cmd_ensemble)
+
+    p_list = sub.add_parser("list", help="list available names")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Core contribution: the HDWS orchestrator.
+
+This package implements the paper's primary contribution — an
+orchestration layer that maps complex scientific discovery workflows onto
+heterogeneous computing systems — plus the event-driven executor it (and
+every baseline) runs on:
+
+* :mod:`~repro.core.executor` — discrete-event workflow execution with
+  data staging, caching, faults, retries and checkpointing.
+* :mod:`~repro.core.policies` — execution policies (static plan,
+  static-with-repair, dynamic just-in-time mapping).
+* :mod:`~repro.core.hdws` — the HDWS scheduling algorithm (accelerator
+  affinity + data locality + lookahead).
+* :mod:`~repro.core.adaptive` — runtime adaptivity: straggler detection
+  and frontier rescheduling.
+* :mod:`~repro.core.orchestrator` — one-call experiment runner gluing
+  scheduler, policy, executor and accounting together.
+* :mod:`~repro.core.api` — the stable public entry points.
+"""
+
+from repro.core.executor import ExecutionResult, TaskRecord, WorkflowExecutor
+from repro.core.policies import (
+    DynamicMctPolicy,
+    ExecutionPolicy,
+    StaticPolicy,
+)
+from repro.core.hdws import HdwsScheduler
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.orchestrator import Orchestrator, RunConfig, RunResult
+from repro.core.ensemble import EnsembleMember, EnsembleResult, EnsembleRunner
+from repro.core.api import run_workflow
+
+__all__ = [
+    "WorkflowExecutor",
+    "ExecutionResult",
+    "TaskRecord",
+    "ExecutionPolicy",
+    "StaticPolicy",
+    "DynamicMctPolicy",
+    "HdwsScheduler",
+    "AdaptivePolicy",
+    "Orchestrator",
+    "RunConfig",
+    "RunResult",
+    "EnsembleMember",
+    "EnsembleResult",
+    "EnsembleRunner",
+    "run_workflow",
+]

@@ -1,0 +1,287 @@
+"""Runtime adaptivity: monitor execution, re-plan the unstarted frontier.
+
+:class:`AdaptivePolicy` starts from a static plan (HDWS by default) and
+follows it like :class:`~repro.core.policies.StaticPolicy` — but it
+watches actual completions.  When a task's real finish time drifts from
+the plan by more than ``drift_threshold`` of the planned makespan (a
+straggler, a fault retry, a mis-estimate), or when a device dies, every
+task that has not started yet is re-planned from the current true state:
+completed/running tasks are pinned at their actual placements and times,
+device timelines are floored at *now*, and the frontier is re-scored with
+the same heterogeneity-aware machinery the initial plan used.
+
+This is the mechanism that makes HDWS degrade gracefully under estimate
+error (F4): static plans inherit every profiling mistake, dynamic greedy
+forgets the global structure, and frontier re-planning keeps both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.hdws import HdwsScheduler
+from repro.core.policies import Decision, ExecutionPolicy
+from repro.platform.devices import Device
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.schedulers.schedule import Schedule
+
+
+class AdaptivePolicy(ExecutionPolicy):
+    """Static plan + drift-triggered frontier rescheduling."""
+
+    def __init__(
+        self,
+        planner: Optional[Scheduler] = None,
+        drift_threshold: float = 0.10,
+        max_replans: int = 50,
+        estimate_error_cv: float = 0.0,
+        seed: int = 0,
+        allow_stealing: bool = True,
+        steal_tolerance: float = 1.5,
+    ) -> None:
+        self.planner = planner or HdwsScheduler()
+        self.drift_threshold = drift_threshold
+        self.max_replans = max_replans
+        self.estimate_error_cv = estimate_error_cv
+        self.seed = seed
+        self.allow_stealing = allow_stealing
+        self.steal_tolerance = steal_tolerance
+        self.replans = 0
+        self.steals = 0
+        self._context: Optional[SchedulingContext] = None
+        self._plan: Optional[Schedule] = None
+        self._queues: Dict[str, List[str]] = {}
+        self._dvfs: Dict[str, str] = {}
+        self._oct: Optional[Dict[str, Dict[str, float]]] = None
+        self._ranks: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # policy interface                                                   #
+    # ------------------------------------------------------------------ #
+
+    def prepare(self, executor) -> None:
+        """Compute the initial full plan."""
+        import numpy as np
+
+        self._context = SchedulingContext(
+            executor.workflow,
+            executor.cluster,
+            estimate_error_cv=self.estimate_error_cv,
+            rng=np.random.default_rng(self.seed + 7919),
+            release_times=executor.release_times,
+        )
+        self._plan = self.planner.schedule(self._context)
+        self._dvfs = dict(self._plan.dvfs_choice)
+        self._ranks = self._context.upward_ranks(use_best=True)
+        self._rebuild_queues(self._plan)
+
+    def select(self, executor) -> List[Decision]:
+        """Dispatch plan-order queue heads, then steal for idle devices.
+
+        Head dispatch follows the plan.  Work stealing then lets a free
+        device take a ready task whose planned device is busy, provided the
+        thief runs it within ``steal_tolerance`` of the planned device's
+        estimate — bounded opportunism that removes the idle-wait penalty
+        static plans pay under estimate error, without handing accelerator
+        work to wildly unsuitable devices.
+        """
+        decisions: List[Decision] = []
+        claimed_devices = set()
+        claimed_tasks = set()
+        for uid in sorted(self._queues):
+            queue = self._queues[uid]
+            if not queue:
+                continue
+            try:
+                device = executor.cluster.device(uid)
+            except KeyError:  # pragma: no cover - defensive
+                continue
+            if device.failed or uid in executor.busy_devices:
+                continue
+            head = queue[0]
+            if head in executor.ready:
+                decisions.append((head, device, self._dvfs.get(head)))
+                claimed_devices.add(uid)
+                claimed_tasks.add(head)
+        if self.allow_stealing:
+            decisions.extend(
+                self._steal(executor, claimed_devices, claimed_tasks)
+            )
+        return decisions
+
+    def _steal(self, executor, claimed_devices, claimed_tasks) -> List[Decision]:
+        """Match idle devices with ready tasks stuck behind busy devices."""
+        idle = [
+            d for d in executor.free_devices()
+            if d.uid not in claimed_devices
+        ]
+        if not idle:
+            return []
+        planned_on = {
+            task: uid for uid, queue in self._queues.items() for task in queue
+        }
+        stealable = sorted(
+            (t for t in executor.ready_tasks()
+             if t not in claimed_tasks
+             and planned_on.get(t) is not None
+             and planned_on[t] not in claimed_devices
+             and (planned_on[t] in executor.busy_devices
+                  or executor.cluster.device(planned_on[t]).failed)),
+            key=lambda t: (-self._ranks.get(t, 0.0), t),
+        )
+        decisions: List[Decision] = []
+        ctx = self._context
+        for task in stealable:
+            if not idle:
+                break
+            planned_uid = planned_on[task]
+            try:
+                planned_est = ctx.exec_time(task, planned_uid)
+            except Exception:  # planned device no longer priced (failed)
+                planned_est = float("inf")
+            best = None
+            for device in idle:
+                if not executor.eligible(task, device):
+                    continue
+                est = ctx.exec_time(task, device.uid)
+                if est <= planned_est * self.steal_tolerance:
+                    if best is None or est < best[0]:
+                        best = (est, device)
+            if best is not None:
+                _est, device = best
+                decisions.append((task, device, None))
+                idle.remove(device)
+                self.steals += 1
+                # The stolen task leaves its planned queue immediately so
+                # head dispatch does not double-issue it.
+                queue = self._queues.get(planned_uid)
+                if queue and task in queue:
+                    queue.remove(task)
+        return decisions
+
+    def on_task_done(self, executor, task_name: str, device: Device) -> None:
+        """Pop the queue; re-plan when reality drifted from the plan."""
+        queue = self._queues.get(device.uid)
+        if queue and queue[0] == task_name:
+            queue.pop(0)
+        else:
+            for q in self._queues.values():
+                if task_name in q:
+                    q.remove(task_name)
+                    break
+        planned = self._plan.assignments.get(task_name)
+        if planned is None or self.replans >= self.max_replans:
+            return
+        actual = executor.records[task_name].finish
+        scale = max(self._plan.makespan, 1e-9)
+        if abs(actual - planned.finish) > self.drift_threshold * scale:
+            self._replan(executor)
+
+    def on_device_failure(self, executor, device: Device) -> None:
+        """A dead device always forces a re-plan."""
+        self._queues.pop(device.uid, None)
+        if self.replans < self.max_replans:
+            self._replan(executor)
+
+    # ------------------------------------------------------------------ #
+    # frontier re-planning                                               #
+    # ------------------------------------------------------------------ #
+
+    def _replan(self, executor) -> None:
+        """Re-score every unstarted task from the current true state."""
+        self.replans += 1
+        now = executor.now
+        wf = executor.workflow
+        ctx = self._context
+
+        seeded = Schedule()
+        unstarted: List[str] = []
+        for name, rec in executor.records.items():
+            if rec.state == "done":
+                seeded.add(name, rec.device, min(rec.start, rec.finish), rec.finish)
+            elif rec.state == "running":
+                # A task still staging its inputs has no execution start
+                # yet; treat `now` as its start for seeding purposes.
+                started = rec.start if rec.start is not None else now
+                expected = self._expected_finish(executor, rec)
+                seeded.add(name, rec.device, min(started, expected), expected)
+                seeded.dvfs_choice.update(
+                    {name: self._dvfs[name]} if name in self._dvfs else {}
+                )
+            else:
+                unstarted.append(name)
+
+        # The past is not placeable: fill every device's idle time before
+        # `now` with blocker intervals so gap-insertion cannot use it.
+        for device in executor.cluster.devices:
+            tl = seeded.timeline(device.uid)
+            cursor = 0.0
+            for s, e, _t in tl.intervals:
+                gap_end = min(s, now)
+                if gap_end > cursor + 1e-12:
+                    tl.add(cursor, gap_end, "<blocked>")
+                cursor = max(cursor, e)
+            if now > cursor + 1e-12:
+                tl.add(cursor, now, "<blocked>")
+
+        ranks = ctx.upward_ranks(use_best=True)
+        topo_index = {n: i for i, n in enumerate(wf.topological_order())}
+        unstarted.sort(key=lambda n: (-ranks[n], topo_index[n]))
+
+        hdws = self.planner if isinstance(self.planner, HdwsScheduler) else HdwsScheduler()
+        contended = (
+            hdws._class_pressure(ctx) if hdws.use_scarcity else {}
+        )
+        if self._oct is None and hdws.use_lookahead:
+            self._oct = hdws.lookahead_table(ctx)
+        replica_node: Dict[str, Optional[str]] = {}
+        for name, rec in executor.records.items():
+            if rec.state == "done" and rec.device is not None:
+                node = executor.cluster.device(rec.device).node.name
+                for fname in wf.tasks[name].outputs:
+                    replica_node[fname] = node
+
+        alive = {d.uid for d in executor.cluster.alive_devices()}
+        for name in unstarted:
+            candidates = [
+                cand
+                for cand in hdws._candidates(
+                    ctx, seeded, name, contended, replica_node, self._oct
+                )
+                if cand[0].uid in alive
+            ]
+            if not candidates:  # pragma: no cover - defensive
+                continue
+            device, start, finish = hdws._pick(candidates)
+            seeded.add(name, device.uid, start, finish)
+            node = executor.cluster.device(device.uid).node.name
+            for fname in wf.tasks[name].outputs:
+                replica_node[fname] = node
+
+        # Keep the original DVFS choices for unstarted tasks if the planner
+        # recorded any (HDWS itself does not).
+        new_plan = seeded
+        self._plan = new_plan
+        self._rebuild_queues(new_plan, skip_done_running=executor)
+
+    def _expected_finish(self, executor, rec) -> float:
+        """Best guess at a running task's finish for seeding the re-plan."""
+        est = self._context.exec_time(rec.name, rec.device)
+        expected = (rec.start if rec.start is not None else executor.now) + est
+        if expected <= executor.now:
+            # Already overdue: assume it needs as much again as planned.
+            expected = executor.now + est * 0.5
+        return expected
+
+    def _rebuild_queues(self, plan: Schedule, skip_done_running=None) -> None:
+        self._queues = {}
+        for uid in plan.timelines:
+            tasks = [t for t in plan.tasks_on(uid) if t != "<blocked>"]
+            if skip_done_running is not None:
+                tasks = [
+                    t for t in tasks
+                    if skip_done_running.records[t].state
+                    not in ("done", "running", "dead")
+                ]
+            if tasks:
+                self._queues[uid] = tasks

@@ -1,0 +1,197 @@
+"""Ensemble execution: many workflows, one platform.
+
+Three sharing disciplines, matching how production workflow managers run
+campaign ensembles:
+
+* ``sequential`` — members run one after another in submission order
+  (dedicated platform per member; the latency baseline).
+* ``priority`` — sequential, but ordered by descending member priority
+  (urgent analyses first).
+* ``shared`` — all members are merged into one namespaced super-DAG and
+  space-share the platform under a single scheduler (the throughput
+  discipline; see :mod:`repro.workflows.ensemble`).
+
+The result records per-member finish times and slowdowns relative to a
+solo run of that member on the empty platform, plus ensemble-level
+makespan and energy — the numbers an operator trades off when choosing a
+discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.orchestrator import Orchestrator, RunConfig
+from repro.platform.cluster import Cluster
+from repro.workflows.ensemble import member_tasks, merge_workflows
+from repro.workflows.graph import Workflow
+
+DISCIPLINES = ("sequential", "priority", "shared", "online")
+
+
+@dataclass(frozen=True)
+class EnsembleMember:
+    """One workflow in an ensemble.
+
+    ``arrival`` is the member's submission time (virtual seconds); only
+    the ``online`` discipline honours it — the offline disciplines treat
+    every member as present at time 0.
+    """
+
+    member_id: str
+    workflow: Workflow
+    priority: float = 0.0
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+
+
+@dataclass
+class EnsembleResult:
+    """Outcome of one ensemble run."""
+
+    discipline: str
+    makespan: float
+    energy_j: float
+    member_finish: Dict[str, float] = field(default_factory=dict)
+    member_solo: Dict[str, float] = field(default_factory=dict)
+    success: bool = True
+
+    @property
+    def member_slowdown(self) -> Dict[str, float]:
+        """Per-member finish time over its solo makespan (>= ~1)."""
+        out = {}
+        for mid, finish in self.member_finish.items():
+            solo = self.member_solo.get(mid)
+            if solo:
+                out[mid] = finish / solo
+        return out
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Average member slowdown (the fairness figure)."""
+        slow = self.member_slowdown
+        if not slow:
+            return float("nan")
+        return sum(slow.values()) / len(slow)
+
+    def throughput(self) -> float:
+        """Members completed per unit makespan."""
+        if self.makespan <= 0:
+            return float("inf")
+        return len(self.member_finish) / self.makespan
+
+
+class EnsembleRunner:
+    """Runs member workflows on one cluster under a sharing discipline."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[RunConfig] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or RunConfig()
+
+    def run(
+        self,
+        members: List[EnsembleMember],
+        discipline: str = "shared",
+        compute_solo: bool = True,
+    ) -> EnsembleResult:
+        """Execute the ensemble under the given discipline."""
+        if discipline not in DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {DISCIPLINES}, got {discipline!r}"
+            )
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        ids = [m.member_id for m in members]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate member ids: {ids}")
+
+        solo: Dict[str, float] = {}
+        if compute_solo:
+            for m in members:
+                solo[m.member_id] = self._run_one(m.workflow).makespan
+
+        if discipline == "shared":
+            result = self._run_shared(members, solo)
+        elif discipline == "online":
+            result = self._run_shared(members, solo, honor_arrivals=True)
+        else:
+            ordered = list(members)
+            if discipline == "priority":
+                ordered.sort(key=lambda m: (-m.priority, m.member_id))
+            result = self._run_sequential(ordered, discipline, solo)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _run_one(self, workflow: Workflow):
+        return Orchestrator(self.config).run(workflow, self.cluster)
+
+    def _run_sequential(
+        self, ordered: List[EnsembleMember], discipline: str,
+        solo: Dict[str, float],
+    ) -> EnsembleResult:
+        clock = 0.0
+        energy = 0.0
+        finishes: Dict[str, float] = {}
+        ok = True
+        for m in ordered:
+            run = self._run_one(m.workflow)
+            ok = ok and run.success
+            clock += run.makespan
+            energy += run.energy.total_joules
+            finishes[m.member_id] = clock
+        return EnsembleResult(
+            discipline=discipline,
+            makespan=clock,
+            energy_j=energy,
+            member_finish=finishes,
+            member_solo=solo,
+            success=ok,
+        )
+
+    def _run_shared(
+        self,
+        members: List[EnsembleMember],
+        solo: Dict[str, float],
+        honor_arrivals: bool = False,
+    ) -> EnsembleResult:
+        merged = merge_workflows(
+            {m.member_id: m.workflow for m in members},
+            priorities={m.member_id: m.priority for m in members},
+        )
+        config = self.config
+        if honor_arrivals:
+            from dataclasses import replace as dc_replace
+
+            releases = {
+                t: m.arrival
+                for m in members
+                if m.arrival > 0
+                for t in member_tasks(merged, m.member_id)
+            }
+            config = dc_replace(self.config, release_times=releases)
+        run = Orchestrator(config).run(merged, self.cluster)
+        finishes: Dict[str, float] = {}
+        for m in members:
+            times = [
+                run.execution.records[t].finish
+                for t in member_tasks(merged, m.member_id)
+                if run.execution.records[t].finish is not None
+            ]
+            finishes[m.member_id] = max(times) if times else float("nan")
+        return EnsembleResult(
+            discipline="online" if honor_arrivals else "shared",
+            makespan=run.makespan,
+            energy_j=run.energy.total_joules,
+            member_finish=finishes,
+            member_solo=solo,
+            success=run.success,
+        )

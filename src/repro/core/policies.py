@@ -1,0 +1,225 @@
+"""Execution policies: who decides what runs where at runtime.
+
+The executor (mechanism) consults a policy (decision maker) whenever state
+changes.  Three families:
+
+* :class:`StaticPolicy` — follow a precomputed :class:`Schedule` in plan
+  order, with optional *repair* when devices die (queued tasks of a dead
+  device are redistributed).  Plan-order dispatch is deadlock-free even
+  under runtime noise: per-device plan order is consistent with a global
+  schedule, so any circular wait would contradict the plan's own
+  start/finish ordering.
+* :class:`DynamicMctPolicy` — ignore any plan; map ready tasks to free
+  devices just-in-time by greedy minimum completion time (optionally
+  locality-aware: the staging cost of inputs, looked up in the live
+  replica catalog, joins the estimate).
+* :class:`~repro.core.adaptive.AdaptivePolicy` — start from a plan, but
+  monitor progress and reschedule the not-yet-started frontier when
+  reality diverges (stragglers, faults).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.staging import choose_source
+from repro.platform.devices import Device
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.schedule import Schedule
+
+#: A dispatch decision: (task name, device, optional DVFS state name).
+Decision = Tuple[str, Device, Optional[str]]
+
+
+class ExecutionPolicy(abc.ABC):
+    """Interface the executor consults for dispatch decisions."""
+
+    def prepare(self, executor) -> None:
+        """One-time hook before execution starts."""
+
+    @abc.abstractmethod
+    def select(self, executor) -> List[Decision]:
+        """Dispatch decisions for the current (ready tasks, free devices)."""
+
+    def on_task_done(self, executor, task_name: str, device: Device) -> None:
+        """Hook fired after every task completion."""
+
+    def on_device_failure(self, executor, device: Device) -> None:
+        """Hook fired after a permanent device failure."""
+
+
+class StaticPolicy(ExecutionPolicy):
+    """Execute a precomputed schedule in plan order (with repair)."""
+
+    def __init__(self, schedule: Schedule, repair: bool = True) -> None:
+        self.schedule = schedule
+        self.repair = repair
+        self._queues: Dict[str, List[str]] = {}
+        self._dvfs = dict(schedule.dvfs_choice)
+
+    def prepare(self, executor) -> None:
+        """Build per-device FIFO queues from the planned timelines."""
+        self._queues = {
+            uid: self.schedule.tasks_on(uid)
+            for uid in self.schedule.timelines
+        }
+
+    def select(self, executor) -> List[Decision]:
+        """Dispatch every device whose queue head is ready."""
+        decisions: List[Decision] = []
+        for uid in sorted(self._queues):
+            queue = self._queues[uid]
+            if not queue:
+                continue
+            try:
+                device = executor.cluster.device(uid)
+            except KeyError:  # pragma: no cover - defensive
+                continue
+            if device.failed or uid in executor.busy_devices:
+                continue
+            head = queue[0]
+            if head in executor.ready:
+                decisions.append((head, device, self._dvfs.get(head)))
+        return decisions
+
+    def on_task_done(self, executor, task_name: str, device: Device) -> None:
+        """Pop the completed task from its queue."""
+        queue = self._queues.get(device.uid)
+        if queue and queue[0] == task_name:
+            queue.pop(0)
+        else:  # repaired tasks may complete on a different device
+            for q in self._queues.values():
+                if task_name in q:
+                    q.remove(task_name)
+                    break
+
+    def on_device_failure(self, executor, device: Device) -> None:
+        """Redistribute the dead device's remaining queue (if repairing)."""
+        dead_queue = self._queues.pop(device.uid, [])
+        if not dead_queue:
+            return
+        if not self.repair:
+            # Tasks stay unqueued and will never dispatch; the run fails
+            # visibly rather than silently rerouting.
+            return
+        load: Dict[str, float] = {
+            uid: sum(
+                self.schedule.assignments[t].duration
+                for t in q if t in self.schedule.assignments
+            )
+            for uid, q in self._queues.items()
+        }
+        for task_name in dead_queue:
+            candidates = [
+                d for d in executor.cluster.alive_devices()
+                if executor.eligible(task_name, d) and d.uid in self._queues
+            ]
+            if not candidates:
+                candidates = [
+                    d for d in executor.cluster.alive_devices()
+                    if executor.eligible(task_name, d)
+                ]
+                for d in candidates:
+                    self._queues.setdefault(d.uid, [])
+                    load.setdefault(d.uid, 0.0)
+            if not candidates:
+                continue  # task is DEAD-ended; executor will report failure
+            target = min(candidates, key=lambda d: (load.get(d.uid, 0.0), d.uid))
+            self._queues.setdefault(target.uid, []).append(task_name)
+            planned = self.schedule.assignments.get(task_name)
+            load[target.uid] = load.get(target.uid, 0.0) + (
+                planned.duration if planned else 0.0
+            )
+        # Re-sort every queue by planned start time.  Appending to tails
+        # can put a task behind its own descendant in one queue, and the
+        # head-of-line dispatch would then deadlock; planned starts are a
+        # valid topological order (plan: start(child) >= finish(parent)).
+        def planned_start(task_name: str) -> float:
+            a = self.schedule.assignments.get(task_name)
+            return a.start if a is not None else float("inf")
+
+        for uid in self._queues:
+            self._queues[uid].sort(key=lambda t: (planned_start(t), t))
+
+
+class DynamicMctPolicy(ExecutionPolicy):
+    """Just-in-time greedy minimum-completion-time mapping.
+
+    Ready tasks are considered in decreasing upward rank (so the critical
+    path keeps priority); each is matched to the free eligible device
+    minimizing estimated completion, optionally including live staging
+    costs from the replica catalog.
+    """
+
+    def __init__(
+        self,
+        locality_aware: bool = False,
+        ranked: bool = True,
+        estimate_error_cv: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.locality_aware = locality_aware
+        self.ranked = ranked
+        self.estimate_error_cv = estimate_error_cv
+        self.seed = seed
+        self._context: Optional[SchedulingContext] = None
+        self._ranks: Dict[str, float] = {}
+
+    def prepare(self, executor) -> None:
+        """Precompute estimates and task priorities."""
+        import numpy as np
+
+        self._context = SchedulingContext(
+            executor.workflow,
+            executor.cluster,
+            estimate_error_cv=self.estimate_error_cv,
+            rng=np.random.default_rng(self.seed + 7919),
+            release_times=executor.release_times,
+        )
+        if self.ranked:
+            self._ranks = self._context.upward_ranks()
+        else:
+            self._ranks = {n: 0.0 for n in executor.workflow.tasks}
+
+    def select(self, executor) -> List[Decision]:
+        """Greedy match of ready tasks to free devices."""
+        free = {d.uid: d for d in executor.free_devices()}
+        if not free:
+            return []
+        decisions: List[Decision] = []
+        order = sorted(
+            executor.ready_tasks(), key=lambda n: (-self._ranks[n], n)
+        )
+        for name in order:
+            if not free:
+                break
+            best = None
+            for uid, device in sorted(free.items()):
+                if not executor.eligible(name, device):
+                    continue
+                cost = self._context.exec_time(name, uid)
+                if self.locality_aware:
+                    cost += self._staging_cost(executor, name, device)
+                if best is None or cost < best[0] - 1e-15:
+                    best = (cost, uid, device)
+            if best is not None:
+                _cost, uid, device = best
+                decisions.append((name, device, None))
+                del free[uid]
+        return decisions
+
+    def _staging_cost(self, executor, name: str, device: Device) -> float:
+        """Estimated cost of pulling the task's inputs to the device."""
+        node = device.node.name
+        total = 0.0
+        for fname in executor.workflow.tasks[name].inputs:
+            f = executor.workflow.files[fname]
+            try:
+                total += choose_source(
+                    executor.catalog, executor.cluster, fname, f.size_mb, node
+                ).cost
+            except LookupError:
+                # Not produced yet/lost; regeneration is the executor's job.
+                continue
+        return total

@@ -1,0 +1,23 @@
+"""Data management substrate.
+
+Discovery workflows are as much about moving bytes as about computing:
+this package provides the replica catalog (which nodes hold which file),
+per-node stores with LRU eviction, and the source-selection policy used
+when a task on node X needs a file that lives elsewhere.
+
+* :class:`~repro.data.catalog.ReplicaCatalog` — file → locations map.
+* :class:`~repro.data.cache.NodeStore` — bounded per-node store.
+* :mod:`~repro.data.staging` — transfer source selection.
+"""
+
+from repro.data.catalog import ReplicaCatalog
+from repro.data.cache import EvictionError, NodeStore
+from repro.data.staging import StagingDecision, choose_source
+
+__all__ = [
+    "ReplicaCatalog",
+    "NodeStore",
+    "EvictionError",
+    "StagingDecision",
+    "choose_source",
+]

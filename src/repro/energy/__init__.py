@@ -1,0 +1,22 @@
+"""Energy accounting and idle-power management.
+
+Power *models* live with the hardware (:mod:`repro.platform.power`); this
+package turns an executed run into joules:
+
+* :mod:`~repro.energy.accounting` — integrate busy/idle energy per device
+  from recorded busy intervals and per-task execution records.
+* :mod:`~repro.energy.governor` — idle-power policies (always-on vs
+  dynamic resource sleep), applied at accounting time.
+"""
+
+from repro.energy.accounting import DeviceEnergy, EnergyReport, account_energy
+from repro.energy.governor import AlwaysOnGovernor, DeepSleepGovernor, IdleGovernor
+
+__all__ = [
+    "DeviceEnergy",
+    "EnergyReport",
+    "account_energy",
+    "IdleGovernor",
+    "AlwaysOnGovernor",
+    "DeepSleepGovernor",
+]

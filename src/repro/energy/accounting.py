@@ -1,0 +1,137 @@
+"""Post-run energy integration.
+
+Takes an executed run — the cluster (whose devices recorded their busy
+intervals), the achieved makespan, and the execution trace (whose
+``task.finish`` records carry per-task busy energy, including any DVFS
+state the schedule chose) — and produces an :class:`EnergyReport` with
+per-device busy/idle breakdowns under a chosen idle governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy.governor import AlwaysOnGovernor, IdleGovernor
+from repro.platform.cluster import Cluster
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class DeviceEnergy:
+    """Energy breakdown of one device over one run."""
+
+    device: str
+    busy_seconds: float
+    idle_seconds: float
+    busy_joules: float
+    idle_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        """Busy plus idle energy."""
+        return self.busy_joules + self.idle_joules
+
+
+@dataclass
+class EnergyReport:
+    """Whole-run energy report."""
+
+    makespan: float
+    devices: Dict[str, DeviceEnergy] = field(default_factory=dict)
+
+    @property
+    def total_joules(self) -> float:
+        """Cluster-wide energy for the run."""
+        return sum(d.total_joules for d in self.devices.values())
+
+    @property
+    def busy_joules(self) -> float:
+        """Energy spent actually executing tasks."""
+        return sum(d.busy_joules for d in self.devices.values())
+
+    @property
+    def idle_joules(self) -> float:
+        """Energy wasted idling (the target of DRS governors)."""
+        return sum(d.idle_joules for d in self.devices.values())
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s), the combined figure of merit."""
+        return self.total_joules * self.makespan
+
+    def average_power(self) -> float:
+        """Mean cluster draw over the run, watts."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_joules / self.makespan
+
+
+def account_energy(
+    cluster: Cluster,
+    makespan: float,
+    trace: Optional[TraceRecorder] = None,
+    governor: Optional[IdleGovernor] = None,
+) -> EnergyReport:
+    """Integrate a run's energy.
+
+    Busy energy prefers per-task ``energy_j`` figures from the trace
+    (these reflect DVFS choices); devices without trace records fall back
+    to busy-time x full busy power.  Idle energy prices every gap in each
+    device's interval list (plus leading/trailing gaps within
+    [0, makespan]) through the governor.
+    """
+    governor = governor or AlwaysOnGovernor()
+    report = EnergyReport(makespan=makespan)
+
+    traced_energy: Dict[str, float] = {}
+    traced_devices = set()
+    if trace is not None:
+        # Completed executions, preempted replica clones and crashed
+        # attempts all burnt busy power; each records its energy_j.
+        for kind in ("task.finish", "task.preempt", "fault.task"):
+            for rec in trace.of_kind(kind):
+                dev = rec.get("device")
+                e = rec.get("energy_j")
+                if dev is not None and e is not None:
+                    traced_energy[dev] = traced_energy.get(dev, 0.0) + float(e)
+                    traced_devices.add(dev)
+
+    for device in cluster.devices:
+        intervals = sorted(
+            (s, min(e, makespan)) for s, e in device.busy_intervals if s < makespan
+        )
+        busy = sum(e - s for s, e in intervals if e > s)
+        idle = max(0.0, makespan - busy)
+
+        power = device.spec.power
+        if device.uid in traced_devices:
+            busy_j = traced_energy[device.uid]
+        else:
+            busy_j = power.busy_watts * busy
+
+        idle_j = 0.0
+        for gap in _idle_gaps(intervals, makespan):
+            idle_j += governor.idle_energy(power, gap)
+
+        report.devices[device.uid] = DeviceEnergy(
+            device=device.uid,
+            busy_seconds=busy,
+            idle_seconds=idle,
+            busy_joules=busy_j,
+            idle_joules=idle_j,
+        )
+    return report
+
+
+def _idle_gaps(intervals: List[Tuple[float, float]], makespan: float) -> List[float]:
+    """Lengths of the idle gaps of a device over [0, makespan]."""
+    gaps: List[float] = []
+    cursor = 0.0
+    for s, e in intervals:
+        if s > cursor:
+            gaps.append(s - cursor)
+        cursor = max(cursor, e)
+    if makespan > cursor:
+        gaps.append(makespan - cursor)
+    return [g for g in gaps if g > 0]

@@ -1,0 +1,134 @@
+"""Carbon-aware accounting and launch-time shifting (extension).
+
+Scientific campaigns increasingly report *carbon*, not just joules, and a
+batch campaign can often choose *when* to start.  This module provides:
+
+* :class:`CarbonIntensityTrace` — grid carbon intensity (gCO2/kWh) over
+  the day; a synthetic solar-shaped diurnal curve is built in, real traces
+  can be supplied as (hour, intensity) samples.
+* :func:`carbon_emissions` — integrate a run's power draw against the
+  trace from a given start hour.
+* :func:`best_start_hour` — temporal shifting: the launch hour minimizing
+  the run's total emissions (the "run the campaign at solar noon" play).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.energy.accounting import EnergyReport
+
+#: Seconds per hour, for trace indexing.
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class CarbonIntensityTrace:
+    """Piecewise-linear grid carbon intensity over a 24 h day, gCO2/kWh."""
+
+    samples: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 2:
+            raise ValueError("need at least two samples")
+        hours = [h for h, _v in self.samples]
+        if hours != sorted(hours):
+            raise ValueError("samples must be sorted by hour")
+        if hours[0] != 0.0:
+            raise ValueError("trace must start at hour 0")
+        if any(v < 0 for _h, v in self.samples):
+            raise ValueError("intensity cannot be negative")
+
+    @classmethod
+    def synthetic_solar(
+        cls,
+        base: float = 450.0,
+        solar_dip: float = 250.0,
+        noon: float = 13.0,
+        spread: float = 3.5,
+    ) -> "CarbonIntensityTrace":
+        """A solar-heavy grid: high overnight, dipping around noon."""
+        samples: List[Tuple[float, float]] = []
+        for h in range(25):
+            dip = solar_dip * math.exp(-((h - noon) ** 2) / (2 * spread ** 2))
+            samples.append((float(h), max(0.0, base - dip)))
+        return cls(tuple(samples))
+
+    @classmethod
+    def flat(cls, intensity: float = 400.0) -> "CarbonIntensityTrace":
+        """A constant-intensity grid (the carbon-blind baseline)."""
+        return cls(((0.0, intensity), (24.0, intensity)))
+
+    def intensity_at(self, hour: float) -> float:
+        """Interpolated intensity at an hour-of-day (wraps modulo 24)."""
+        h = hour % 24.0
+        prev_h, prev_v = self.samples[0]
+        for sh, sv in self.samples[1:]:
+            if h <= sh:
+                if sh == prev_h:
+                    return sv
+                frac = (h - prev_h) / (sh - prev_h)
+                return prev_v + frac * (sv - prev_v)
+            prev_h, prev_v = sh, sv
+        return prev_v  # beyond the last sample: hold
+
+    def mean_over(self, start_hour: float, duration_s: float, steps: int = 64) -> float:
+        """Mean intensity over [start, start + duration] (midpoint rule)."""
+        if duration_s <= 0:
+            return self.intensity_at(start_hour)
+        total = 0.0
+        for k in range(steps):
+            t = start_hour + (k + 0.5) / steps * (duration_s / HOUR)
+            total += self.intensity_at(t)
+        return total / steps
+
+
+def carbon_emissions(
+    report: EnergyReport,
+    trace: CarbonIntensityTrace,
+    start_hour: float = 0.0,
+) -> float:
+    """Grams of CO2 for a run starting at ``start_hour``.
+
+    The run's average power is integrated against the intensity over its
+    makespan; joules convert to kWh at 3.6e6 J/kWh.
+    """
+    kwh = report.total_joules / 3.6e6
+    mean_intensity = trace.mean_over(start_hour, report.makespan)
+    return kwh * mean_intensity
+
+
+def best_start_hour(
+    report: EnergyReport,
+    trace: CarbonIntensityTrace,
+    granularity_h: float = 0.5,
+) -> Tuple[float, float]:
+    """(hour, gCO2) of the launch time minimizing emissions."""
+    if granularity_h <= 0:
+        raise ValueError("granularity must be positive")
+    best: Optional[Tuple[float, float]] = None
+    hour = 0.0
+    while hour < 24.0:
+        g = carbon_emissions(report, trace, start_hour=hour)
+        if best is None or g < best[1]:
+            best = (hour, g)
+        hour += granularity_h
+    return best
+
+
+def shifting_savings(
+    report: EnergyReport, trace: CarbonIntensityTrace
+) -> Dict[str, float]:
+    """Summary of what temporal shifting buys for one run."""
+    worst = max(
+        carbon_emissions(report, trace, h * 0.5) for h in range(48)
+    )
+    hour, best = best_start_hour(report, trace)
+    return {
+        "best_hour": hour,
+        "best_gco2": best,
+        "worst_gco2": worst,
+        "savings_fraction": 0.0 if worst == 0 else 1.0 - best / worst,
+    }

@@ -1,0 +1,63 @@
+"""Idle-power management policies (dynamic resource sleep).
+
+A governor decides how much an idle gap of a given length costs.  The
+always-on policy charges full idle power for every idle second; the
+deep-sleep policy (DRS) lets a device drop to its sleep draw after a
+threshold, modeling power-gated accelerators — plus a fixed wake energy
+penalty per sleep episode.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.platform.power import PowerModel
+
+
+class IdleGovernor(abc.ABC):
+    """Policy pricing one idle gap on one device."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def idle_energy(self, power: PowerModel, gap_seconds: float) -> float:
+        """Joules consumed over an idle gap of the given length."""
+
+
+class AlwaysOnGovernor(IdleGovernor):
+    """Full idle draw for the whole gap (no power management)."""
+
+    name = "always-on"
+
+    def idle_energy(self, power: PowerModel, gap_seconds: float) -> float:
+        """gap * idle_watts."""
+        if gap_seconds < 0:
+            raise ValueError("gap must be non-negative")
+        return power.idle_watts * gap_seconds
+
+
+class DeepSleepGovernor(IdleGovernor):
+    """Dynamic resource sleep after a threshold, with wake penalty.
+
+    The first ``threshold_s`` of a gap draw idle power; the remainder draws
+    sleep power; entering/leaving sleep costs ``wake_energy_j`` once per
+    qualifying gap.
+    """
+
+    name = "deep-sleep"
+
+    def __init__(self, threshold_s: float = 1.0, wake_energy_j: float = 5.0) -> None:
+        if threshold_s < 0 or wake_energy_j < 0:
+            raise ValueError("threshold and wake energy must be non-negative")
+        self.threshold_s = threshold_s
+        self.wake_energy_j = wake_energy_j
+
+    def idle_energy(self, power: PowerModel, gap_seconds: float) -> float:
+        """Idle draw up to the threshold, sleep draw beyond, plus wake cost."""
+        if gap_seconds < 0:
+            raise ValueError("gap must be non-negative")
+        if gap_seconds <= self.threshold_s:
+            return power.idle_watts * gap_seconds
+        awake = power.idle_watts * self.threshold_s
+        asleep = power.sleep_watts * (gap_seconds - self.threshold_s)
+        return awake + asleep + self.wake_energy_j

@@ -1,0 +1,60 @@
+"""Experiment runners — one module per evaluation table/figure.
+
+Each runner exposes ``run(quick=..., seed=...)`` returning a structured
+result (comparison tables / series dicts) plus a ``render`` of the same
+rows/series the paper reports.  The ``benchmarks/`` tree wraps these in
+pytest-benchmark targets; the CLI exposes them via ``repro-flow exp``.
+
+Index (see DESIGN.md for the full mapping):
+
+======  ===========================================================
+T1      Scheduler comparison (makespan + SLR, 11 schedulers x 5 suites)
+T2      Heterogeneity benefit (CPU vs +GPU vs +GPU+FPGA)
+T3      Energy comparison (energy-aware vs HEFT vs HDWS)
+T4      HDWS mechanism ablation
+T5      Scheduling overhead vs DAG size
+F1      Speedup vs cluster size
+F2      Makespan vs CCR
+F3      Makespan vs GPU count
+F4      Robustness to runtime-estimate error
+F5      Fault tolerance vs fault rate
+F6      Data-staging traffic by scheduler
+F7      Energy/makespan Pareto front
+======  ===========================================================
+"""
+
+from repro.experiments import common
+from repro.experiments.t1_schedulers import run as run_t1
+from repro.experiments.t2_heterogeneity import run as run_t2
+from repro.experiments.t3_energy import run as run_t3
+from repro.experiments.t4_ablation import run as run_t4
+from repro.experiments.t5_overhead import run as run_t5
+from repro.experiments.f1_scalability import run as run_f1
+from repro.experiments.f2_ccr import run as run_f2
+from repro.experiments.f3_gpu_sweep import run as run_f3
+from repro.experiments.f4_estimate_error import run as run_f4
+from repro.experiments.f5_faults import run as run_f5
+from repro.experiments.f6_traffic import run as run_f6
+from repro.experiments.f7_pareto import run as run_f7
+from repro.experiments.x2_topology import run as run_x2
+from repro.experiments.x3_replication import run as run_x3
+
+#: Experiment id -> runner.
+REGISTRY = {
+    "t1": run_t1,
+    "t2": run_t2,
+    "t3": run_t3,
+    "t4": run_t4,
+    "t5": run_t5,
+    "f1": run_f1,
+    "f2": run_f2,
+    "f3": run_f3,
+    "f4": run_f4,
+    "f5": run_f5,
+    "f6": run_f6,
+    "f7": run_f7,
+    "x2": run_x2,
+    "x3": run_x3,
+}
+
+__all__ = ["common", "REGISTRY"] + [f"run_{k}" for k in REGISTRY]

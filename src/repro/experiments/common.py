@@ -1,0 +1,91 @@
+"""Shared infrastructure for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.platform import presets
+from repro.platform.cluster import Cluster
+from repro.workflows.generators import SCIENTIFIC_SUITES
+from repro.workflows.graph import Workflow
+
+#: Canonical suite order used in every table.
+SUITES = ("montage", "cybershake", "epigenomics", "ligo", "sipht")
+
+#: Default scheduler line-up of the T1 comparison, best-first by family.
+T1_SCHEDULERS = (
+    "hdws",
+    "heft",
+    "peft",
+    "cpop",
+    "minmin",
+    "maxmin",
+    "mct",
+    "levelwise",
+    "met",
+    "olb",
+    "roundrobin",
+    "random",
+)
+
+
+def suite_workflows(
+    size: int = 100, seed: int = 0, names: Iterable[str] = SUITES
+) -> Dict[str, Workflow]:
+    """The scientific workflow suite at a given approximate size."""
+    # Import repro.core so the HDWS registry hook runs before any
+    # experiment resolves schedulers by name.
+    import repro.core  # noqa: F401
+
+    return {
+        name: SCIENTIFIC_SUITES[name](size=size, seed=seed + i)
+        for i, name in enumerate(names)
+    }
+
+
+def default_cluster(seed_independent: bool = True) -> Cluster:
+    """The mixed CPU+GPU evaluation platform (4 nodes, 4 CPU + 1 GPU each)."""
+    return presets.hybrid_cluster(nodes=4, cores_per_node=4, gpus_per_node=1)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform return type of every experiment runner.
+
+    ``tables`` maps a table label to a rendered-able object (usually a
+    :class:`~repro.analysis.compare.ComparisonTable`); ``series`` maps a
+    curve label to an x->y dict; ``notes`` collects shape observations the
+    benchmarks assert on.
+    """
+
+    experiment: str
+    tables: Dict[str, object] = field(default_factory=dict)
+    series: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable rendering of all tables and series."""
+        chunks: List[str] = [f"=== {self.experiment} ==="]
+        for label, table in self.tables.items():
+            render = getattr(table, "render", None)
+            chunks.append(f"-- {label} --")
+            chunks.append(render() if callable(render) else str(table))
+        for label, series in self.series.items():
+            chunks.append(f"-- {label} --")
+            pts = ", ".join(
+                f"{x:g}: {y:.3f}" for x, y in sorted(series.items())
+            )
+            chunks.append(pts)
+        if self.notes:
+            chunks.append("-- notes --")
+            for k, v in self.notes.items():
+                chunks.append(f"{k}: {v}")
+        return "\n".join(chunks)
+
+
+def quick_params(quick: bool) -> Dict[str, int]:
+    """Workload sizing shared by the runners (quick for CI, full for paper)."""
+    if quick:
+        return {"size": 40, "reps": 1}
+    return {"size": 100, "reps": 3}

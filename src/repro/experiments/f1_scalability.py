@@ -1,0 +1,54 @@
+"""F1 — Speedup vs cluster size.
+
+Runs Montage (200 tasks full / 80 quick) on hybrid clusters of 1..32
+nodes with HDWS, HEFT and Min-Min; reports speedup over the single-best-
+CPU serial time.
+
+Expected shape: near-linear speedup while width lasts, then a plateau set
+by the critical path; HDWS saturates highest because it wastes the least
+accelerator time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.metrics import speedup
+from repro.core.api import run_workflow
+from repro.experiments.common import ExperimentResult
+from repro.platform import presets
+from repro.workflows.generators import montage
+
+SCHEDULERS = ("hdws", "heft", "minmin")
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the F1 scaling sweep; returns one speedup series per scheduler."""
+    import repro.core  # noqa: F401  (registry hook)
+
+    sizes = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16, 32)
+    wf = montage(size=80 if quick else 200, seed=seed)
+
+    series: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}
+    for nodes in sizes:
+        cluster = presets.hybrid_cluster(
+            nodes=nodes, cores_per_node=4, gpus_per_node=1
+        )
+        for sched in SCHEDULERS:
+            result = run_workflow(
+                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
+            )
+            series[sched][float(nodes)] = speedup(
+                result.makespan, wf, cluster, cpu_only=True
+            )
+
+    notes = {
+        "saturation": {
+            s: max(vals.values()) for s, vals in series.items()
+        }
+    }
+    return ExperimentResult(
+        experiment="F1 speedup vs cluster size",
+        series={f"speedup[{s}]": series[s] for s in SCHEDULERS},
+        notes=notes,
+    )

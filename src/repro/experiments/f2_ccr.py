@@ -1,0 +1,59 @@
+"""F2 — Makespan vs communication-to-computation ratio.
+
+Sweeps the CCR of a 100-task random layered DAG from 0.1 to 10 and runs
+the main schedulers.  Reports makespan normalized to HDWS at each point.
+
+Expected shape: at low CCR all EFT-family schedulers are close; as CCR
+grows, communication-blind heuristics degrade fastest and HDWS's locality
+tie-break pays, widening the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.api import run_workflow
+from repro.experiments.common import ExperimentResult, default_cluster
+from repro.workflows.generators import random_dag
+
+SCHEDULERS = ("hdws", "heft", "minmin", "mct", "olb")
+CCRS_QUICK = (0.1, 1.0, 5.0)
+CCRS_FULL = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the F2 CCR sweep; one makespan series per scheduler."""
+    import repro.core  # noqa: F401  (registry hook)
+
+    ccrs = CCRS_QUICK if quick else CCRS_FULL
+    n_tasks = 50 if quick else 100
+
+    series: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}
+    cluster = default_cluster()
+    for ccr in ccrs:
+        wf = random_dag(n_tasks=n_tasks, ccr=ccr, seed=seed)
+        for sched in SCHEDULERS:
+            result = run_workflow(
+                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
+            )
+            series[sched][ccr] = result.makespan
+
+    # Normalize each point to HDWS so the figure reads as relative cost.
+    normalized: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}
+    for ccr in ccrs:
+        ref = series["hdws"][ccr]
+        for sched in SCHEDULERS:
+            normalized[sched][ccr] = series[sched][ccr] / ref
+
+    return ExperimentResult(
+        experiment="F2 CCR sweep",
+        series={
+            **{f"makespan[{s}]": series[s] for s in SCHEDULERS},
+            **{f"vs-hdws[{s}]": normalized[s] for s in SCHEDULERS},
+        },
+        notes={
+            "max_gap_vs_hdws": {
+                s: max(normalized[s].values()) for s in SCHEDULERS
+            }
+        },
+    )

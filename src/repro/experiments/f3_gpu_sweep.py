@@ -1,0 +1,46 @@
+"""F3 — Makespan vs GPU count (accelerator marginal utility).
+
+Fixes CPU capacity (4 nodes x 4 cores) and sweeps the number of GPUs from
+0 to 8, running HDWS on each suite.
+
+Expected shape: steep initial gains on accelerable suites, flattening as
+the accelerable work saturates (Amdahl) — the first GPU is worth far more
+than the eighth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.api import run_workflow
+from repro.experiments.common import ExperimentResult, quick_params, suite_workflows
+from repro.platform import presets
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the F3 GPU-count sweep; one makespan series per suite."""
+    params = quick_params(quick)
+    gpu_counts = (0, 1, 2, 4) if quick else (0, 1, 2, 4, 6, 8)
+    workflows = suite_workflows(size=params["size"], seed=seed)
+
+    series: Dict[str, Dict[float, float]] = {w: {} for w in workflows}
+    for gpus in gpu_counts:
+        cluster = presets.gpu_count_cluster(gpus, nodes=4, cores_per_node=4)
+        for wname, wf in workflows.items():
+            result = run_workflow(
+                wf, cluster, scheduler="hdws", seed=seed, noise_cv=noise_cv
+            )
+            series[wname][float(gpus)] = result.makespan
+
+    marginal = {}
+    for wname, vals in series.items():
+        xs = sorted(vals)
+        first_gain = vals[xs[0]] / vals[xs[1]] if len(xs) > 1 else 1.0
+        last_gain = vals[xs[-2]] / vals[xs[-1]] if len(xs) > 1 else 1.0
+        marginal[wname] = {"first_gpu": first_gain, "last_gpu": last_gain}
+
+    return ExperimentResult(
+        experiment="F3 makespan vs GPU count",
+        series={f"makespan[{w}]": series[w] for w in series},
+        notes={"marginal_utility": marginal},
+    )

@@ -1,0 +1,55 @@
+"""F7 — Energy/makespan Pareto front.
+
+Sweeps the energy-aware scheduler's alpha from 0 (pure energy) to 1
+(pure makespan) on LIGO with DVFS-capable devices, recording the
+(makespan, energy) point of each setting.
+
+Expected shape: a convex-ish trade-off curve — moving from alpha=1 to
+alpha=0 cuts energy monotonically-ish while makespan rises; the knee is
+where DVFS slack absorbs slowdowns for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.api import run_workflow
+from repro.energy.governor import DeepSleepGovernor
+from repro.experiments.common import ExperimentResult
+from repro.platform import presets
+from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
+from repro.workflows.generators import ligo_inspiral
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the F7 alpha sweep; makespan and energy series over alpha."""
+    alphas = (0.0, 0.5, 1.0) if quick else (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    wf = ligo_inspiral(size=40 if quick else 100, seed=seed)
+    governor = DeepSleepGovernor(threshold_s=1.0)
+
+    makespan: Dict[float, float] = {}
+    energy: Dict[float, float] = {}
+    for alpha in alphas:
+        cluster = presets.hybrid_cluster(
+            nodes=4, cores_per_node=4, gpus_per_node=1, dvfs=True
+        )
+        result = run_workflow(
+            wf, cluster,
+            scheduler=EnergyAwareHeftScheduler(alpha=alpha),
+            seed=seed, noise_cv=noise_cv, governor=governor,
+        )
+        makespan[alpha] = result.makespan
+        energy[alpha] = result.energy.total_joules
+
+    front: List[Tuple[float, float, float]] = sorted(
+        (makespan[a], energy[a], a) for a in alphas
+    )
+    return ExperimentResult(
+        experiment="F7 energy/makespan Pareto",
+        series={"makespan": makespan, "energy_j": energy},
+        notes={
+            "fastest_alpha": max(alphas, key=lambda a: -makespan[a]),
+            "greenest_alpha": min(alphas, key=lambda a: energy[a]),
+            "front": front,
+        },
+    )

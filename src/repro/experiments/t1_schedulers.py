@@ -1,0 +1,65 @@
+"""T1 — Scheduler comparison across the five scientific suites.
+
+Regenerates the paper family's headline table: makespan and SLR of every
+scheduler on Montage, CyberShake, Epigenomics, LIGO and SIPHT, on the
+mixed CPU+GPU cluster, plus a geometric-mean summary row.
+
+Expected shape: HDWS <= HEFT/PEFT <= batch heuristics << naive mappers,
+with HDWS's margin largest on accelerator-heavy suites (CyberShake, LIGO).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import ComparisonTable
+from repro.analysis.metrics import schedule_length_ratio
+from repro.core.api import run_workflow
+from repro.experiments.common import (
+    ExperimentResult,
+    T1_SCHEDULERS,
+    default_cluster,
+    quick_params,
+    suite_workflows,
+)
+from repro.schedulers.base import SchedulingContext
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the T1 comparison; returns makespan and SLR tables."""
+    params = quick_params(quick)
+    workflows = suite_workflows(size=params["size"], seed=seed)
+    # Quick mode keeps the full quality spread (best heuristics AND the
+    # naive floor) and only drops two redundant mid-field mappers; full
+    # mode additionally includes the expensive lookahead/metaheuristic
+    # columns.
+    if quick:
+        schedulers = tuple(
+            s for s in T1_SCHEDULERS if s not in ("met", "roundrobin")
+        )
+    else:
+        schedulers = T1_SCHEDULERS + ("lookahead-heft", "annealing")
+
+    makespans = ComparisonTable("workflow")
+    slrs = ComparisonTable("workflow")
+    cluster = default_cluster()
+    for wname, wf in workflows.items():
+        context = SchedulingContext(wf, cluster)
+        for sched in schedulers:
+            result = run_workflow(
+                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
+            )
+            if not result.success:  # pragma: no cover - should not happen
+                raise RuntimeError(f"{sched} failed on {wname}")
+            makespans.set(wname, sched, result.makespan)
+            slrs.set(wname, sched, schedule_length_ratio(result.makespan, context))
+
+    makespans = makespans.with_geomean_row()
+    slrs = slrs.with_geomean_row()
+    winners = makespans.best_column_per_row()
+    return ExperimentResult(
+        experiment="T1 scheduler comparison",
+        tables={"makespan (s)": makespans, "SLR": slrs},
+        notes={
+            "winners": winners,
+            "geomean_makespan": makespans.row_values("geo-mean"),
+        },
+    )

@@ -1,0 +1,73 @@
+"""T2 — Heterogeneity benefit: CPU-only vs +GPU vs +GPU+FPGA.
+
+Runs HDWS on the five suites across three platforms with identical node
+counts and CPU capacity, adding accelerators stepwise.  Reports makespan
+per platform and the speedup each heterogeneity step buys.
+
+Expected shape: accelerator-dominated suites (CyberShake, LIGO) gain
+several-fold from GPUs; FPGA adds most where BLAST-family kernels exist
+(SIPHT); Amdahl-bound suites (Montage's sequential tail) gain least.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import ComparisonTable
+from repro.core.api import run_workflow
+from repro.experiments.common import ExperimentResult, quick_params, suite_workflows
+from repro.platform import presets
+
+PLATFORMS = ("cpu", "cpu+gpu", "cpu+gpu+fpga")
+
+
+def make_platform(kind: str):
+    """The three T2 platforms with matched CPU capacity.
+
+    The accelerator steps are incremental — one GPU per node, then one
+    FPGA per node on top — so the FPGA column shows what a *second
+    accelerator class* buys when the first is contended (and where
+    FPGA-preferring kernels exist).
+    """
+    if kind == "cpu":
+        return presets.cpu_cluster(nodes=4, cores_per_node=4)
+    if kind == "cpu+gpu":
+        return presets.hybrid_cluster(nodes=4, cores_per_node=4, gpus_per_node=1)
+    if kind == "cpu+gpu+fpga":
+        return presets.accelerator_rich_cluster(
+            nodes=4, cores_per_node=4, gpus_per_node=1, fpgas_per_node=1
+        )
+    raise KeyError(f"unknown platform kind {kind!r}")
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the T2 platform ladder; returns makespan + speedup tables."""
+    params = quick_params(quick)
+    workflows = suite_workflows(size=params["size"], seed=seed)
+
+    makespans = ComparisonTable("workflow")
+    for kind in PLATFORMS:
+        cluster = make_platform(kind)
+        for wname, wf in workflows.items():
+            result = run_workflow(
+                wf, cluster, scheduler="hdws", seed=seed, noise_cv=noise_cv
+            )
+            makespans.set(wname, kind, result.makespan)
+
+    speedups = makespans.normalized("cpu")
+    # normalized() divides by the cpu column; invert to read as speedup.
+    inverted = ComparisonTable("workflow")
+    for r in speedups.rows:
+        for c, v in speedups.row_values(r).items():
+            inverted.set(r, c, 1.0 / v if v > 0 else float("inf"))
+
+    return ExperimentResult(
+        experiment="T2 heterogeneity benefit",
+        tables={
+            "makespan (s)": makespans.with_geomean_row(),
+            "speedup vs cpu-only": inverted.with_geomean_row(),
+        },
+        notes={
+            "gpu_speedup_geomean": inverted.with_geomean_row().get(
+                "geo-mean", "cpu+gpu"
+            ),
+        },
+    )

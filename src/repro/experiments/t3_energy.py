@@ -1,0 +1,69 @@
+"""T3 — Energy comparison.
+
+Runs HEFT, HDWS and the energy-aware scheduler (two alpha settings) on
+the five suites on a DVFS-capable hybrid cluster with a deep-sleep idle
+governor, reporting energy, makespan and EDP.
+
+Expected shape: energy-aware placement + DVFS cuts energy versus HEFT at
+a modest makespan cost; alpha trades between the two; HDWS (makespan-only)
+sits between HEFT and the energy-aware points on energy because better
+packing shortens idle tails.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import ComparisonTable
+from repro.core.api import run_workflow
+from repro.energy.governor import DeepSleepGovernor
+from repro.experiments.common import ExperimentResult, quick_params, suite_workflows
+from repro.platform import presets
+from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
+
+
+def scheduler_lineup():
+    """(label, scheduler) pairs of the T3 columns."""
+    return [
+        ("heft", "heft"),
+        ("hdws", "hdws"),
+        ("ea-0.7", EnergyAwareHeftScheduler(alpha=0.7)),
+        ("ea-0.3", EnergyAwareHeftScheduler(alpha=0.3)),
+    ]
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the T3 energy comparison; energy/makespan/EDP tables."""
+    params = quick_params(quick)
+    workflows = suite_workflows(size=params["size"], seed=seed)
+    governor = DeepSleepGovernor(threshold_s=1.0)
+
+    energy = ComparisonTable("workflow")
+    makespan = ComparisonTable("workflow")
+    edp = ComparisonTable("workflow")
+    for wname, wf in workflows.items():
+        for label, sched in scheduler_lineup():
+            cluster = presets.hybrid_cluster(
+                nodes=4, cores_per_node=4, gpus_per_node=1, dvfs=True
+            )
+            result = run_workflow(
+                wf, cluster, scheduler=sched, seed=seed,
+                noise_cv=noise_cv, governor=governor,
+            )
+            energy.set(wname, label, result.energy.total_joules)
+            makespan.set(wname, label, result.makespan)
+            edp.set(wname, label, result.energy.edp)
+
+    energy = energy.with_geomean_row()
+    makespan = makespan.with_geomean_row()
+    edp = edp.with_geomean_row()
+    return ExperimentResult(
+        experiment="T3 energy comparison",
+        tables={
+            "energy (J)": energy,
+            "makespan (s)": makespan,
+            "EDP (J*s)": edp,
+        },
+        notes={
+            "geomean_energy": energy.row_values("geo-mean"),
+            "geomean_makespan": makespan.row_values("geo-mean"),
+        },
+    )

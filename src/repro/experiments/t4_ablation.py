@@ -1,0 +1,73 @@
+"""T4 — Ablation of the HDWS mechanisms.
+
+Disables each HDWS mechanism in turn (affinity ranking, scarcity guard,
+locality tie-break, lookahead), plus an all-off variant (≈ plain
+insertion HEFT with best-exec disabled), and reports makespan and network
+traffic per suite.
+
+Expected shape: every mechanism contributes somewhere — affinity/scarcity
+on accelerator-contended suites, locality on data-heavy ones (traffic
+column), lookahead on fan-out-then-join graphs (LIGO); no single ablation
+dominates everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import ComparisonTable
+from repro.core.api import run_workflow
+from repro.core.hdws import HdwsScheduler
+from repro.experiments.common import (
+    ExperimentResult,
+    default_cluster,
+    quick_params,
+    suite_workflows,
+)
+
+
+def variants():
+    """(label, scheduler) pairs of the T4 rows."""
+    return [
+        ("full", HdwsScheduler()),
+        ("-affinity", HdwsScheduler(use_affinity_rank=False)),
+        ("-scarcity", HdwsScheduler(use_scarcity=False)),
+        ("-locality", HdwsScheduler(use_locality=False)),
+        ("-lookahead", HdwsScheduler(use_lookahead=False)),
+        ("none", HdwsScheduler(
+            use_affinity_rank=False, use_scarcity=False,
+            use_locality=False, use_lookahead=False,
+        )),
+    ]
+
+
+def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
+    """Run the T4 ablation; makespan and traffic tables."""
+    params = quick_params(quick)
+    workflows = suite_workflows(size=params["size"], seed=seed)
+
+    makespan = ComparisonTable("workflow")
+    traffic = ComparisonTable("workflow")
+    cluster = default_cluster()
+    for wname, wf in workflows.items():
+        for label, sched in variants():
+            result = run_workflow(
+                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
+            )
+            makespan.set(wname, label, result.makespan)
+            traffic.set(
+                wname, label,
+                result.execution.network_mb + result.execution.staging_mb,
+            )
+
+    makespan = makespan.with_geomean_row()
+    traffic = traffic.with_geomean_row()
+    geo = makespan.row_values("geo-mean")
+    return ExperimentResult(
+        experiment="T4 HDWS ablation",
+        tables={"makespan (s)": makespan, "data moved (MB)": traffic},
+        notes={
+            "geomean_vs_full": {
+                k: v / geo["full"] for k, v in geo.items()
+            },
+            "traffic_geomean": traffic.row_values("geo-mean"),
+        },
+    )

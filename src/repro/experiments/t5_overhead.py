@@ -1,0 +1,81 @@
+"""T5 — Scheduling overhead: algorithm wall-clock vs DAG size.
+
+Times the *scheduling call itself* (not the simulated execution) for the
+main algorithms on random DAGs of growing size.  This is the classic
+quality/overhead table: HEFT-family algorithms are near-quadratic in
+(tasks x devices), PEFT pays extra for its OCT, the GA pays per
+generation, and the immediate-mode mappers are near-linear.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.analysis.compare import ComparisonTable
+from repro.experiments.common import ExperimentResult, default_cluster
+from repro.schedulers import REGISTRY
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.genetic import GeneticScheduler
+from repro.workflows.generators import random_dag
+
+
+#: Above this DAG size the expensive columns are skipped (their cells stay
+#: empty): lookahead-HEFT copies the partial schedule per candidate and the
+#: GA re-decodes per individual, both impractical at thousands of tasks —
+#: which is itself a finding the table reports.
+EXPENSIVE_CUTOFF = 500
+
+
+def lineup(quick: bool):
+    """(label, scheduler factory, max size) triples of the T5 columns."""
+    import repro.core  # noqa: F401  (registry hook)
+
+    pairs = [
+        ("hdws", REGISTRY["hdws"], None),
+        ("heft", REGISTRY["heft"], None),
+        ("peft", REGISTRY["peft"], None),
+        ("minmin", REGISTRY["minmin"], None),
+        ("mct", REGISTRY["mct"], None),
+    ]
+    if not quick:
+        pairs.append(
+            ("lookahead", REGISTRY["lookahead-heft"], EXPENSIVE_CUTOFF)
+        )
+        pairs.append((
+            "genetic-10g",
+            lambda: GeneticScheduler(population=16, generations=10),
+            EXPENSIVE_CUTOFF,
+        ))
+    return pairs
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run the T5 overhead study; scheduling seconds per (size, algorithm)."""
+    sizes = (50, 100, 200) if quick else (50, 100, 200, 500, 1000, 2000)
+    cluster = default_cluster()
+
+    table = ComparisonTable("n_tasks")
+    for n in sizes:
+        wf = random_dag(n_tasks=n, ccr=0.5, seed=seed)
+        context = SchedulingContext(wf, cluster)
+        for label, factory, max_size in lineup(quick):
+            if max_size is not None and n > max_size:
+                continue  # impractical at this size: reported as a gap
+            sched = factory()
+            t0 = time.perf_counter()
+            schedule = sched.schedule(context)
+            elapsed = time.perf_counter() - t0
+            schedule.validate_against(wf)
+            table.set(str(n), label, elapsed)
+
+    growth: Dict[str, float] = {}
+    for label, _f, _m in lineup(quick):
+        col = table.column_values(label)
+        keys = sorted(col, key=int)
+        growth[label] = col[keys[-1]] / max(col[keys[0]], 1e-9)
+    return ExperimentResult(
+        experiment="T5 scheduling overhead",
+        tables={"scheduling time (s)": table},
+        notes={"growth_first_to_last": growth},
+    )

@@ -1,0 +1,26 @@
+"""Fault injection and recovery policies.
+
+Models the two failure classes that matter for long-running discovery
+campaigns:
+
+* **Transient task faults** — a task crashes partway through (bit flips,
+  OOM kills, preemption); exponential arrival during execution.
+* **Permanent device faults** — a device dies for the rest of the run
+  (Poisson over wall-clock time); its in-flight task aborts and the
+  node-local replicas it held may be lost.
+
+:class:`FaultInjector` draws the failures deterministically from a named
+RNG stream; :class:`RecoveryPolicy` tells the orchestrator what to do about
+them (retry/re-place, task-level checkpointing, output archiving).
+"""
+
+from repro.faults.models import DeviceFault, FaultModel
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy
+
+__all__ = [
+    "FaultModel",
+    "DeviceFault",
+    "FaultInjector",
+    "RecoveryPolicy",
+]

@@ -1,0 +1,88 @@
+"""Statistical fault models.
+
+Rates are chosen per experiment; the F5 sweep varies ``task_fault_rate``
+over orders of magnitude to chart makespan degradation under each recovery
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceFault:
+    """A scheduled permanent device failure."""
+
+    time: float
+    device_uid: str
+    loses_local_data: bool = True
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Failure statistics for one run.
+
+    Attributes:
+        task_fault_rate: Transient failures per second of task execution
+            (exponential inter-arrival).  0 disables transient faults.
+        device_mtbf: Mean time between permanent failures *per device*,
+            seconds of wall-clock.  None disables device faults.
+        device_data_loss: Whether a dead device's node loses the replicas
+            that lived only on that node's store.
+    """
+
+    task_fault_rate: float = 0.0
+    device_mtbf: Optional[float] = None
+    device_data_loss: bool = True
+
+    def __post_init__(self) -> None:
+        if self.task_fault_rate < 0:
+            raise ValueError("task_fault_rate must be non-negative")
+        if self.device_mtbf is not None and self.device_mtbf <= 0:
+            raise ValueError("device_mtbf must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault source is active."""
+        return self.task_fault_rate > 0 or self.device_mtbf is not None
+
+    def draw_task_failure(
+        self, rng: np.random.Generator, duration: float
+    ) -> Optional[float]:
+        """Time *into* an execution of ``duration`` at which it crashes.
+
+        Returns None when the execution completes unharmed.
+        """
+        if self.task_fault_rate <= 0 or duration <= 0:
+            return None
+        t = float(rng.exponential(1.0 / self.task_fault_rate))
+        return t if t < duration else None
+
+    def draw_device_failures(
+        self,
+        rng: np.random.Generator,
+        device_uids: List[str],
+        horizon: float,
+        max_failures: Optional[int] = None,
+    ) -> List[DeviceFault]:
+        """Permanent failures over [0, horizon] across the given devices.
+
+        At most one failure per device (it is permanent); ``max_failures``
+        additionally caps the total so experiments can guarantee the
+        workflow stays completable.
+        """
+        if self.device_mtbf is None:
+            return []
+        faults: List[DeviceFault] = []
+        for uid in device_uids:
+            t = float(rng.exponential(self.device_mtbf))
+            if t < horizon:
+                faults.append(DeviceFault(t, uid, self.device_data_loss))
+        faults.sort(key=lambda f: f.time)
+        if max_failures is not None:
+            faults = faults[:max_failures]
+        return faults

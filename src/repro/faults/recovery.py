@@ -1,0 +1,90 @@
+"""Recovery policies — what the orchestrator does about failures.
+
+The policy is declarative; the enforcement logic lives in the executor and
+orchestrator (:mod:`repro.core`).  Semantics:
+
+* ``max_retries`` — how many times a crashed task is re-executed before
+  the run is declared failed.  Retries re-enter scheduling, so a task that
+  crashed on a dying device can move elsewhere.
+* ``checkpoint_interval_s`` — task-level checkpointing: a crashed task
+  resumes from its last checkpoint instead of from zero, losing at most
+  one interval of progress, at the price of ``checkpoint_overhead`` of
+  extra runtime while executing.  None disables checkpointing.
+* ``archive_outputs`` — write every produced file back to shared storage
+  in the background, so a node loss never forces re-running producers.
+* ``replicate_tasks`` — submit each task to this many devices and take
+  the first finisher (hot redundancy); 1 disables replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Declarative failure-handling configuration."""
+
+    max_retries: int = 3
+    checkpoint_interval_s: Optional[float] = None
+    checkpoint_overhead: float = 0.05
+    archive_outputs: bool = False
+    replicate_tasks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.checkpoint_interval_s is not None and self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if not 0 <= self.checkpoint_overhead < 1:
+            raise ValueError("checkpoint overhead must be in [0, 1)")
+        if self.replicate_tasks < 1:
+            raise ValueError("replicate_tasks must be >= 1")
+
+    @property
+    def checkpointing(self) -> bool:
+        """Whether task-level checkpointing is on."""
+        return self.checkpoint_interval_s is not None
+
+    def effective_duration(self, duration: float) -> float:
+        """Execution time including checkpoint overhead."""
+        if not self.checkpointing:
+            return duration
+        return duration * (1.0 + self.checkpoint_overhead)
+
+    def lost_work(self, progress: float) -> float:
+        """Work lost when crashing ``progress`` seconds into execution.
+
+        Without checkpointing everything is lost; with it, only the tail
+        since the last checkpoint boundary.
+        """
+        if progress < 0:
+            raise ValueError("progress must be non-negative")
+        if not self.checkpointing:
+            return progress
+        return progress % self.checkpoint_interval_s
+
+    @staticmethod
+    def none() -> "RecoveryPolicy":
+        """Fail the run on the first fault (the no-protection baseline)."""
+        return RecoveryPolicy(max_retries=0)
+
+    @staticmethod
+    def retry(n: int = 3) -> "RecoveryPolicy":
+        """Plain re-execution from scratch."""
+        return RecoveryPolicy(max_retries=n)
+
+    @staticmethod
+    def checkpoint(interval_s: float, overhead: float = 0.05, retries: int = 10) -> "RecoveryPolicy":
+        """Re-execution resuming from periodic checkpoints."""
+        return RecoveryPolicy(
+            max_retries=retries,
+            checkpoint_interval_s=interval_s,
+            checkpoint_overhead=overhead,
+        )
+
+    @staticmethod
+    def replicated(k: int = 2, retries: int = 3) -> "RecoveryPolicy":
+        """Hot task replication (first of k finishers wins)."""
+        return RecoveryPolicy(max_retries=retries, replicate_tasks=k)

@@ -1,0 +1,43 @@
+"""Heterogeneous platform model.
+
+Models the hardware substrate a discovery workflow runs on:
+
+* :mod:`~repro.platform.devices` — device classes (CPU, GPU, FPGA, ...) and
+  device specifications/instances.
+* :mod:`~repro.platform.nodes` — compute nodes aggregating devices, local
+  storage and a NIC.
+* :mod:`~repro.platform.interconnect` — inter-node network topology with
+  bandwidth/latency and a shared-link contention model.
+* :mod:`~repro.platform.cluster` — the full platform: nodes + interconnect.
+* :mod:`~repro.platform.perfmodel` — task execution-time model on a device.
+* :mod:`~repro.platform.power` — per-device power/DVFS model.
+* :mod:`~repro.platform.presets` — ready-made platform configurations used
+  throughout the examples, tests and benchmarks.
+
+Conventions: computational work is measured in Gop (abstract giga-operations),
+device speed in Gop/s, data sizes in MB, bandwidth in MB/s, latency and time
+in seconds, power in watts, energy in joules.
+"""
+
+from repro.platform.devices import Device, DeviceClass, DeviceSpec
+from repro.platform.nodes import Node, NodeSpec
+from repro.platform.interconnect import Interconnect, Link
+from repro.platform.cluster import Cluster
+from repro.platform.perfmodel import ExecutionModel
+from repro.platform.power import DvfsState, PowerModel
+from repro.platform import presets
+
+__all__ = [
+    "Device",
+    "DeviceClass",
+    "DeviceSpec",
+    "Node",
+    "NodeSpec",
+    "Interconnect",
+    "Link",
+    "Cluster",
+    "ExecutionModel",
+    "DvfsState",
+    "PowerModel",
+    "presets",
+]

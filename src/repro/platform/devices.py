@@ -1,0 +1,200 @@
+"""Device classes, specifications and runtime device instances.
+
+A *device* is one schedulable processing element: a CPU socket, a discrete
+GPU, an FPGA card, etc.  Devices execute one task at a time per *slot* (a
+CPU spec may expose several slots to model independent cores handed to the
+batch system; accelerators typically expose one).
+
+The split between :class:`DeviceSpec` (immutable description, shareable
+across platform instances) and :class:`Device` (stateful instance inside one
+cluster) mirrors how real resource managers separate the hardware catalogue
+from live resource state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.platform.power import PowerModel
+
+
+class DeviceClass(enum.Enum):
+    """Coarse processing-architecture classes.
+
+    The class drives the execution-time model: tasks carry a per-class
+    affinity (speedup or eligibility), so a GEMM-heavy stage may run 20x
+    faster on ``GPU`` while an irregular traversal is CPU-only.
+    """
+
+    CPU = "cpu"
+    GPU = "gpu"
+    FPGA = "fpga"
+    TPU = "tpu"
+    DSP = "dsp"
+    MANYCORE = "manycore"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Immutable description of a device model.
+
+    Attributes:
+        name: Catalogue name, e.g. ``"xeon-8280"`` or ``"a100"``.
+        device_class: Processing-architecture class.
+        speed: Sustained throughput in Gop/s for a perfectly-suited task
+            with affinity 1.0.  Relative speeds between devices are what
+            matters for scheduling, not absolute calibration.
+        slots: Number of independent execution slots (concurrent tasks).
+        memory_gb: Device-local memory capacity.
+        power: Idle/busy power model (watts) with optional DVFS states.
+    """
+
+    name: str
+    device_class: DeviceClass
+    speed: float
+    slots: int = 1
+    memory_gb: float = 16.0
+    power: PowerModel = field(default_factory=PowerModel)
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"device speed must be positive, got {self.speed}")
+        if self.slots < 1:
+            raise ValueError(f"device must have >=1 slot, got {self.slots}")
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory_gb must be positive, got {self.memory_gb}")
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "DeviceSpec":
+        """A copy of this spec with speed multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(self, speed=self.speed * factor, name=name or self.name)
+
+
+class Device:
+    """A live device inside a cluster.
+
+    Tracks busy intervals (for utilization/energy accounting) and the
+    earliest time each slot becomes free (for both the simulator and the
+    static schedulers' availability estimates).
+    """
+
+    def __init__(self, spec: DeviceSpec, node: "object", index: int) -> None:
+        self.spec = spec
+        self.node = node  # repro.platform.nodes.Node; untyped to avoid cycle
+        self.index = index
+        self.slot_free_at: List[float] = [0.0] * spec.slots
+        self.busy_intervals: List[Tuple[float, float]] = []
+        self.tasks_run: int = 0
+        self.failed: bool = False
+
+    @property
+    def uid(self) -> str:
+        """Globally unique device id, ``<node>:<spec-name>#<index>``."""
+        node_name = getattr(self.node, "name", "?")
+        return f"{node_name}:{self.spec.name}#{self.index}"
+
+    @property
+    def device_class(self) -> DeviceClass:
+        """Shortcut for ``spec.device_class``."""
+        return self.spec.device_class
+
+    @property
+    def speed(self) -> float:
+        """Shortcut for ``spec.speed`` (Gop/s)."""
+        return self.spec.speed
+
+    def earliest_slot(self, after: float = 0.0) -> Tuple[int, float]:
+        """(slot index, time) of the earliest availability not before ``after``."""
+        best_slot = 0
+        best_time = max(self.slot_free_at[0], after)
+        for i, t in enumerate(self.slot_free_at):
+            cand = max(t, after)
+            if cand < best_time:
+                best_slot, best_time = i, cand
+        return best_slot, best_time
+
+    def occupy(self, slot: int, start: float, end: float) -> None:
+        """Mark ``slot`` busy over [start, end] and account the interval."""
+        if end < start:
+            raise ValueError(f"occupy interval reversed: [{start}, {end}]")
+        if slot < 0 or slot >= len(self.slot_free_at):
+            raise IndexError(f"device {self.uid} has no slot {slot}")
+        self.slot_free_at[slot] = end
+        self.busy_intervals.append((start, end))
+        self.tasks_run += 1
+
+    def busy_time(self, until: Optional[float] = None) -> float:
+        """Total busy seconds (clipped at ``until`` if given)."""
+        total = 0.0
+        for start, end in self.busy_intervals:
+            if until is not None:
+                end = min(end, until)
+            if end > start:
+                total += end - start
+        return total
+
+    def utilization(self, makespan: float) -> float:
+        """Fraction of [0, makespan] this device spent busy."""
+        if makespan <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(until=makespan) / makespan)
+
+    def reset(self) -> None:
+        """Clear all runtime state (schedule bookkeeping, intervals, faults)."""
+        self.slot_free_at = [0.0] * self.spec.slots
+        self.busy_intervals.clear()
+        self.tasks_run = 0
+        self.failed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Device {self.uid} {self.device_class} {self.speed:g}Gop/s>"
+
+
+def catalogue() -> Dict[str, DeviceSpec]:
+    """A small catalogue of calibrated device specs used by the presets.
+
+    Speeds are chosen so the *ratios* between device classes are realistic
+    (a data-parallel task sees ~1-2 orders of magnitude from accelerators);
+    power figures follow typical published TDP/idle numbers.
+    """
+    return {
+        "cpu-std": DeviceSpec(
+            "cpu-std", DeviceClass.CPU, speed=50.0, slots=1, memory_gb=64,
+            power=PowerModel(idle_watts=40.0, busy_watts=150.0),
+        ),
+        "cpu-fast": DeviceSpec(
+            "cpu-fast", DeviceClass.CPU, speed=80.0, slots=1, memory_gb=128,
+            power=PowerModel(idle_watts=55.0, busy_watts=205.0),
+        ),
+        "gpu-std": DeviceSpec(
+            "gpu-std", DeviceClass.GPU, speed=700.0, slots=1, memory_gb=24,
+            power=PowerModel(idle_watts=25.0, busy_watts=300.0),
+        ),
+        "gpu-hpc": DeviceSpec(
+            "gpu-hpc", DeviceClass.GPU, speed=1400.0, slots=1, memory_gb=80,
+            power=PowerModel(idle_watts=45.0, busy_watts=400.0),
+        ),
+        "fpga-std": DeviceSpec(
+            "fpga-std", DeviceClass.FPGA, speed=250.0, slots=1, memory_gb=16,
+            power=PowerModel(idle_watts=10.0, busy_watts=60.0),
+        ),
+        "tpu-std": DeviceSpec(
+            "tpu-std", DeviceClass.TPU, speed=1800.0, slots=1, memory_gb=32,
+            power=PowerModel(idle_watts=30.0, busy_watts=250.0),
+        ),
+        "dsp-std": DeviceSpec(
+            "dsp-std", DeviceClass.DSP, speed=90.0, slots=1, memory_gb=4,
+            power=PowerModel(idle_watts=2.0, busy_watts=12.0),
+        ),
+        "manycore-std": DeviceSpec(
+            "manycore-std", DeviceClass.MANYCORE, speed=220.0, slots=1,
+            memory_gb=16,
+            power=PowerModel(idle_watts=20.0, busy_watts=215.0),
+        ),
+    }

@@ -1,0 +1,100 @@
+"""Compute nodes: bundles of devices plus local storage and a NIC.
+
+A node is the unit of data locality — files staged to a node's local store
+are visible to every device on that node at disk bandwidth, while devices on
+other nodes must pull them across the interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.platform.devices import Device, DeviceClass, DeviceSpec
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Immutable description of a node configuration.
+
+    Attributes:
+        name: Node name, unique within a cluster.
+        device_specs: The devices installed on this node.
+        disk_bandwidth: Local-store read/write bandwidth, MB/s.
+        nic_bandwidth: Network interface bandwidth, MB/s (caps any single
+            transfer in or out of the node regardless of link speeds).
+        disk_capacity_gb: Local store size; staging fails beyond this.
+    """
+
+    name: str
+    device_specs: tuple
+    disk_bandwidth: float = 2000.0
+    nic_bandwidth: float = 1250.0
+    disk_capacity_gb: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if not self.device_specs:
+            raise ValueError(f"node {self.name!r} has no devices")
+        if self.disk_bandwidth <= 0 or self.nic_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @staticmethod
+    def of(name: str, specs: Iterable[DeviceSpec], **kwargs) -> "NodeSpec":
+        """Build a NodeSpec from any iterable of device specs."""
+        return NodeSpec(name=name, device_specs=tuple(specs), **kwargs)
+
+
+class Node:
+    """A live node inside a cluster."""
+
+    def __init__(self, spec: NodeSpec) -> None:
+        self.spec = spec
+        self.devices: List[Device] = []
+        counters: dict = {}
+        for dspec in spec.device_specs:
+            idx = counters.get(dspec.name, 0)
+            counters[dspec.name] = idx + 1
+            self.devices.append(Device(dspec, node=self, index=idx))
+
+    @property
+    def name(self) -> str:
+        """Node name (unique within its cluster)."""
+        return self.spec.name
+
+    @property
+    def disk_bandwidth(self) -> float:
+        """Local store bandwidth, MB/s."""
+        return self.spec.disk_bandwidth
+
+    @property
+    def nic_bandwidth(self) -> float:
+        """NIC bandwidth, MB/s."""
+        return self.spec.nic_bandwidth
+
+    def devices_of_class(self, device_class: DeviceClass) -> List[Device]:
+        """All devices on this node of the given class."""
+        return [d for d in self.devices if d.device_class == device_class]
+
+    def device(self, uid: str) -> Device:
+        """Look up a device on this node by uid."""
+        for d in self.devices:
+            if d.uid == uid:
+                return d
+        raise KeyError(f"node {self.name} has no device {uid!r}")
+
+    def classes(self) -> List[DeviceClass]:
+        """Distinct device classes present, in installation order."""
+        seen: List[DeviceClass] = []
+        for d in self.devices:
+            if d.device_class not in seen:
+                seen.append(d.device_class)
+        return seen
+
+    def reset(self) -> None:
+        """Reset runtime state of every device."""
+        for d in self.devices:
+            d.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mix = ",".join(str(c) for c in self.classes())
+        return f"<Node {self.name} [{mix}] x{len(self.devices)}>"

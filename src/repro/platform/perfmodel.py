@@ -1,0 +1,140 @@
+"""Task execution-time model on heterogeneous devices.
+
+The model maps (task, device spec) to a runtime.  Three ingredients:
+
+* **Work & affinity** — each task carries ``work`` in Gop and a per
+  device-class *affinity* multiplier: effective speed on a device is
+  ``spec.speed * affinity[class]``.  Affinity 0 (or absence, for
+  non-CPU classes) marks the class ineligible.  This is how "a GEMM stage is
+  20x on GPU, an I/O stage is not" enters the system.
+* **Launch overhead** — accelerators pay a fixed per-task offload overhead
+  (kernel launch, DMA setup, FPGA pipeline fill), so short tasks do not
+  benefit from them.  The crossover this induces is load-bearing for the
+  heterogeneity experiments (F3).
+* **Noise** — actual runtimes are the estimate times a lognormal factor;
+  schedulers see the deterministic estimate, the executor samples the noisy
+  truth.  An additional *estimate error* factor models systematically wrong
+  profiling (experiment F4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.platform.devices import DeviceClass, DeviceSpec
+from repro.platform.power import DvfsState
+
+#: Default per-class launch overhead in seconds.
+DEFAULT_OVERHEADS: Dict[DeviceClass, float] = {
+    DeviceClass.CPU: 0.0,
+    DeviceClass.GPU: 0.05,
+    DeviceClass.FPGA: 0.20,
+    DeviceClass.TPU: 0.08,
+    DeviceClass.DSP: 0.01,
+    DeviceClass.MANYCORE: 0.005,
+}
+
+
+@dataclass
+class ExecutionModel:
+    """Computes task runtimes on device specs.
+
+    Attributes:
+        overheads: Per-device-class fixed launch overhead (seconds).
+        noise_cv: Coefficient of variation of the lognormal runtime noise
+            applied by :meth:`sample`; 0 disables noise.
+        estimate_error_cv: Coefficient of variation of a *per-task*
+            multiplicative error applied to estimates relative to truth;
+            models bad profiling for the robustness experiments.
+    """
+
+    overheads: Dict[DeviceClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_OVERHEADS)
+    )
+    noise_cv: float = 0.0
+    estimate_error_cv: float = 0.0
+
+    def eligible(self, task, spec: DeviceSpec) -> bool:
+        """Whether ``task`` may run on devices of ``spec``'s class."""
+        return task.affinity_for(spec.device_class) > 0.0
+
+    def effective_speed(
+        self, task, spec: DeviceSpec, dvfs: Optional[DvfsState] = None
+    ) -> float:
+        """Gop/s the device delivers to this particular task."""
+        affinity = task.affinity_for(spec.device_class)
+        if affinity <= 0.0:
+            return 0.0
+        speed = spec.speed * affinity
+        if dvfs is not None:
+            speed *= dvfs.freq_scale
+        return speed
+
+    def estimate(
+        self, task, spec: DeviceSpec, dvfs: Optional[DvfsState] = None
+    ) -> float:
+        """Deterministic runtime estimate used by schedulers.
+
+        Raises ValueError for ineligible (task, device-class) pairs so that
+        scheduler bugs surface instead of producing zero-cost placements.
+        """
+        speed = self.effective_speed(task, spec, dvfs)
+        if speed <= 0.0:
+            raise ValueError(
+                f"task {task.name!r} is not eligible on class {spec.device_class}"
+            )
+        return self.overheads.get(spec.device_class, 0.0) + task.work / speed
+
+    def sample(
+        self,
+        task,
+        spec: DeviceSpec,
+        rng: np.random.Generator,
+        dvfs: Optional[DvfsState] = None,
+    ) -> float:
+        """Actual (noisy) runtime drawn for one execution."""
+        base = self.estimate(task, spec, dvfs)
+        if self.noise_cv <= 0.0:
+            return base
+        return base * float(_lognormal_factor(rng, self.noise_cv))
+
+    def perturbed_estimate(
+        self,
+        task,
+        spec: DeviceSpec,
+        rng: np.random.Generator,
+        dvfs: Optional[DvfsState] = None,
+    ) -> float:
+        """Estimate as a (mis)profiler would report it.
+
+        Applies the ``estimate_error_cv`` multiplicative error; with zero
+        error this equals :meth:`estimate`.
+        """
+        base = self.estimate(task, spec, dvfs)
+        if self.estimate_error_cv <= 0.0:
+            return base
+        return base * float(_lognormal_factor(rng, self.estimate_error_cv))
+
+    def best_estimate(self, task, specs) -> float:
+        """Best (minimum) estimate over an iterable of eligible specs."""
+        times = [self.estimate(task, s) for s in specs if self.eligible(task, s)]
+        if not times:
+            raise ValueError(f"task {task.name!r} is eligible on no given device")
+        return min(times)
+
+    def mean_estimate(self, task, specs) -> float:
+        """Mean estimate over eligible specs (the classical HEFT w-bar)."""
+        times = [self.estimate(task, s) for s in specs if self.eligible(task, s)]
+        if not times:
+            raise ValueError(f"task {task.name!r} is eligible on no given device")
+        return float(np.mean(times))
+
+
+def _lognormal_factor(rng: np.random.Generator, cv: float) -> float:
+    """A unit-mean lognormal multiplier with coefficient of variation cv."""
+    sigma2 = np.log(1.0 + cv * cv)
+    mu = -0.5 * sigma2
+    return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))

@@ -1,0 +1,116 @@
+"""Per-device power and DVFS model.
+
+Each device carries a :class:`PowerModel` with an idle draw, a full-load
+draw, and an optional ladder of :class:`DvfsState` operating points.  A DVFS
+state scales device speed by ``freq_scale`` and busy power by
+``power_scale`` — the classical cubic-ish relation between frequency and
+dynamic power is captured by construction of the ladder in
+:func:`default_dvfs_ladder`, not hard-coded into the model.
+
+Energy is integrated by the accounting layer (:mod:`repro.energy`) from the
+busy intervals a device records; this module only answers "what does this
+device draw in state S while busy/idle".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class DvfsState:
+    """One DVFS operating point.
+
+    ``freq_scale`` multiplies device speed; ``power_scale`` multiplies the
+    *dynamic* (busy - idle) portion of the power draw.
+    """
+
+    name: str
+    freq_scale: float
+    power_scale: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.freq_scale <= 1.5):
+            raise ValueError(f"freq_scale out of range: {self.freq_scale}")
+        if not (0.0 < self.power_scale <= 2.5):
+            raise ValueError(f"power_scale out of range: {self.power_scale}")
+
+
+def default_dvfs_ladder() -> List[DvfsState]:
+    """A four-point ladder with near-cubic dynamic-power scaling.
+
+    power_scale ~= freq_scale**3 rounded to friendly values, matching the
+    classical P_dyn ∝ f V² with V roughly proportional to f.
+    """
+    return [
+        DvfsState("p0", freq_scale=1.00, power_scale=1.000),
+        DvfsState("p1", freq_scale=0.85, power_scale=0.614),
+        DvfsState("p2", freq_scale=0.70, power_scale=0.343),
+        DvfsState("p3", freq_scale=0.55, power_scale=0.166),
+    ]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Idle/busy power with an optional DVFS ladder.
+
+    Attributes:
+        idle_watts: Draw while powered on but not executing.
+        busy_watts: Draw at full load in the highest DVFS state.
+        dvfs_states: Available operating points; empty means fixed frequency.
+        sleep_watts: Draw in deep sleep (dynamic resource sleep), used by
+            energy governors that power-gate idle accelerators.
+    """
+
+    idle_watts: float = 10.0
+    busy_watts: float = 100.0
+    dvfs_states: List[DvfsState] = field(default_factory=list)
+    sleep_watts: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.busy_watts < 0 or self.sleep_watts < 0:
+            raise ValueError("power draws must be non-negative")
+        if self.busy_watts < self.idle_watts:
+            raise ValueError(
+                f"busy power ({self.busy_watts}W) below idle ({self.idle_watts}W)"
+            )
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Busy-minus-idle draw, the part DVFS scales."""
+        return self.busy_watts - self.idle_watts
+
+    def state(self, name: str) -> DvfsState:
+        """Look up a DVFS state by name."""
+        for s in self.dvfs_states:
+            if s.name == name:
+                return s
+        raise KeyError(f"no DVFS state named {name!r}")
+
+    def busy_power(self, state: Optional[DvfsState] = None) -> float:
+        """Power draw while executing, in the given (or highest) state."""
+        if state is None:
+            return self.busy_watts
+        return self.idle_watts + self.dynamic_watts * state.power_scale
+
+    def idle_power(self, asleep: bool = False) -> float:
+        """Power draw while not executing."""
+        return self.sleep_watts if asleep else self.idle_watts
+
+    def energy(self, busy_seconds: float, idle_seconds: float,
+               state: Optional[DvfsState] = None, asleep_when_idle: bool = False) -> float:
+        """Joules consumed over the given busy/idle durations."""
+        if busy_seconds < 0 or idle_seconds < 0:
+            raise ValueError("durations must be non-negative")
+        return (self.busy_power(state) * busy_seconds
+                + self.idle_power(asleep_when_idle) * idle_seconds)
+
+    def with_dvfs(self) -> "PowerModel":
+        """A copy of this model equipped with the default DVFS ladder."""
+        return PowerModel(
+            idle_watts=self.idle_watts,
+            busy_watts=self.busy_watts,
+            dvfs_states=default_dvfs_ladder(),
+            sleep_watts=self.sleep_watts,
+        )

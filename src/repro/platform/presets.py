@@ -1,0 +1,194 @@
+"""Ready-made platform configurations.
+
+The presets pin down the platforms used throughout the examples, tests and
+the benchmark harness, so that "the mixed CPU+GPU cluster from T1" means the
+same thing everywhere.  All constructors take a ``seed``-free, purely
+deterministic description; heterogeneity in *speeds* (for the classical
+related/unrelated machine distinction) comes from explicit spec scaling, not
+randomness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.platform.cluster import Cluster
+from repro.platform.devices import DeviceSpec, catalogue
+from repro.platform.interconnect import Interconnect
+from repro.platform.nodes import NodeSpec
+from repro.platform.perfmodel import ExecutionModel
+
+
+def _catalogue(dvfs: bool) -> dict:
+    """The device catalogue, optionally with DVFS ladders on every spec."""
+    cat = catalogue()
+    if not dvfs:
+        return cat
+    from dataclasses import replace
+
+    return {
+        name: replace(spec, power=spec.power.with_dvfs())
+        for name, spec in cat.items()
+    }
+
+
+def cpu_cluster(
+    nodes: int = 4,
+    cores_per_node: int = 4,
+    execution_model: Optional[ExecutionModel] = None,
+    dvfs: bool = False,
+) -> Cluster:
+    """Homogeneous CPU cluster (the T2 baseline platform).
+
+    Each node carries ``cores_per_node`` single-slot CPU devices, matching
+    how a batch system hands out cores.
+    """
+    cat = _catalogue(dvfs)
+    specs = [
+        NodeSpec.of(f"n{i}", [cat["cpu-std"]] * cores_per_node)
+        for i in range(nodes)
+    ]
+    return Cluster(
+        f"cpu-{nodes}x{cores_per_node}",
+        specs,
+        execution_model=execution_model,
+    )
+
+
+def hybrid_cluster(
+    nodes: int = 4,
+    cores_per_node: int = 4,
+    gpus_per_node: int = 1,
+    execution_model: Optional[ExecutionModel] = None,
+    dvfs: bool = False,
+) -> Cluster:
+    """CPU+GPU cluster — the workhorse platform of the evaluation (T1)."""
+    cat = _catalogue(dvfs)
+    per_node: List[DeviceSpec] = [cat["cpu-std"]] * cores_per_node
+    per_node += [cat["gpu-std"]] * gpus_per_node
+    specs = [NodeSpec.of(f"n{i}", per_node) for i in range(nodes)]
+    return Cluster(
+        f"hybrid-{nodes}x{cores_per_node}c{gpus_per_node}g",
+        specs,
+        execution_model=execution_model,
+    )
+
+
+def accelerator_rich_cluster(
+    nodes: int = 4,
+    cores_per_node: int = 4,
+    gpus_per_node: int = 2,
+    fpgas_per_node: int = 1,
+    execution_model: Optional[ExecutionModel] = None,
+) -> Cluster:
+    """CPU+GPU+FPGA cluster (the widest heterogeneity point of T2)."""
+    cat = catalogue()
+    per_node: List[DeviceSpec] = [cat["cpu-std"]] * cores_per_node
+    per_node += [cat["gpu-std"]] * gpus_per_node
+    per_node += [cat["fpga-std"]] * fpgas_per_node
+    specs = [NodeSpec.of(f"n{i}", per_node) for i in range(nodes)]
+    return Cluster(
+        f"accel-{nodes}x{cores_per_node}c{gpus_per_node}g{fpgas_per_node}f",
+        specs,
+        execution_model=execution_model,
+    )
+
+
+def gpu_count_cluster(
+    gpus: int,
+    nodes: int = 4,
+    cores_per_node: int = 4,
+    execution_model: Optional[ExecutionModel] = None,
+) -> Cluster:
+    """Fixed CPU capacity with exactly ``gpus`` GPUs spread round-robin.
+
+    The F3 sweep varies ``gpus`` from 0 upward to chart accelerator
+    marginal utility.
+    """
+    cat = catalogue()
+    per_node_gpus = [0] * nodes
+    for g in range(gpus):
+        per_node_gpus[g % nodes] += 1
+    specs = []
+    for i in range(nodes):
+        devs: List[DeviceSpec] = [cat["cpu-std"]] * cores_per_node
+        devs += [cat["gpu-std"]] * per_node_gpus[i]
+        specs.append(NodeSpec.of(f"n{i}", devs))
+    return Cluster(
+        f"gpusweep-{gpus}g",
+        specs,
+        execution_model=execution_model,
+    )
+
+
+def unrelated_cluster(
+    nodes: int = 4,
+    execution_model: Optional[ExecutionModel] = None,
+) -> Cluster:
+    """Deliberately lopsided platform for stress-testing schedulers.
+
+    Mixes fast/slow CPUs, a shared HPC GPU, a TPU and a DSP, so that
+    eligibility and affinity interact non-trivially with availability.
+    """
+    cat = catalogue()
+    specs = []
+    for i in range(nodes):
+        if i == 0:
+            devs = [cat["cpu-fast"], cat["cpu-fast"], cat["gpu-hpc"]]
+        elif i == 1:
+            devs = [cat["cpu-std"], cat["cpu-std"], cat["tpu-std"]]
+        elif i == 2:
+            devs = [cat["cpu-std"], cat["fpga-std"], cat["dsp-std"]]
+        else:
+            devs = [cat["cpu-std"].scaled(0.6, "cpu-slow"), cat["manycore-std"]]
+        specs.append(NodeSpec.of(f"n{i}", devs))
+    return Cluster("unrelated", specs, execution_model=execution_model)
+
+
+def edge_cluster(
+    devices: int = 8,
+    execution_model: Optional[ExecutionModel] = None,
+) -> Cluster:
+    """IoT/edge platform: many weak nodes behind a slow network.
+
+    Used by the discovery-at-the-edge example; note the 12.5 MB/s (100 Mb)
+    links, which make data locality decisive.
+    """
+    cat = catalogue()
+    weak_cpu = cat["cpu-std"].scaled(0.1, "cpu-edge")
+    specs = [NodeSpec.of(f"edge{i}", [weak_cpu, cat["dsp-std"]],
+                         disk_bandwidth=200.0, nic_bandwidth=12.5)
+             for i in range(devices)]
+    net = Interconnect.uniform([s.name for s in specs], bandwidth=12.5, latency=0.01)
+    return Cluster("edge", specs, interconnect=net,
+                   execution_model=execution_model)
+
+
+def single_node_workstation(
+    execution_model: Optional[ExecutionModel] = None,
+) -> Cluster:
+    """One node, 4 CPU cores + 1 GPU — the quickstart platform."""
+    cat = catalogue()
+    spec = NodeSpec.of("ws0", [cat["cpu-std"]] * 4 + [cat["gpu-std"]])
+    return Cluster("workstation", [spec], execution_model=execution_model)
+
+
+PRESETS = {
+    "cpu": cpu_cluster,
+    "hybrid": hybrid_cluster,
+    "accel": accelerator_rich_cluster,
+    "unrelated": unrelated_cluster,
+    "edge": edge_cluster,
+    "workstation": single_node_workstation,
+}
+
+
+def by_name(name: str, **kwargs) -> Cluster:
+    """Instantiate a preset platform by short name (see ``PRESETS``)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+    return factory(**kwargs)

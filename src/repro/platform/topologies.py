@@ -1,0 +1,152 @@
+"""Structured interconnect topologies.
+
+The default platforms use a uniform full mesh; real systems route through
+structured fabrics where distance matters.  These constructors build an
+:class:`~repro.platform.interconnect.Interconnect` whose per-pair link
+latency grows with hop count (and, for tapered fat-trees, whose bandwidth
+shrinks for core-crossing pairs), so data-locality effects extend beyond
+"same node vs other node" to "how far is the other node".
+
+All topologies keep the library's one-link-per-ordered-pair contention
+model: each pair serializes its own transfers; the topology shapes the
+pair's latency/bandwidth, not shared-path queueing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.platform.interconnect import Interconnect, Link
+
+
+def _pairwise(
+    names: Sequence[str],
+    hop_fn,
+    bandwidth_fn,
+    per_hop_latency: float,
+) -> Interconnect:
+    net = Interconnect()
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            if a == b:
+                continue
+            hops = hop_fn(i, j)
+            net.add_link(Link(
+                a, b,
+                bandwidth=bandwidth_fn(i, j, hops),
+                latency=per_hop_latency * hops,
+            ))
+    return net
+
+
+def fat_tree(
+    node_names: Sequence[str],
+    pod_size: int = 4,
+    edge_bandwidth: float = 1250.0,
+    oversubscription: float = 2.0,
+    per_hop_latency: float = 5e-5,
+) -> Interconnect:
+    """A two-level tapered fat-tree.
+
+    Nodes are grouped into pods of ``pod_size``; intra-pod pairs cross one
+    edge switch (2 hops), inter-pod pairs climb to the core (4 hops) and
+    see the tapered bandwidth ``edge_bandwidth / oversubscription``.
+    """
+    if pod_size < 1:
+        raise ValueError("pod_size must be >= 1")
+    if oversubscription < 1.0:
+        raise ValueError("oversubscription must be >= 1")
+
+    def pod(i: int) -> int:
+        return i // pod_size
+
+    def hops(i: int, j: int) -> int:
+        return 2 if pod(i) == pod(j) else 4
+
+    def bandwidth(i: int, j: int, _hops: int) -> float:
+        if pod(i) == pod(j):
+            return edge_bandwidth
+        return edge_bandwidth / oversubscription
+
+    return _pairwise(node_names, hops, bandwidth, per_hop_latency)
+
+
+def torus_2d(
+    node_names: Sequence[str],
+    width: int = 0,
+    link_bandwidth: float = 1250.0,
+    per_hop_latency: float = 5e-5,
+) -> Interconnect:
+    """A 2-D wrap-around torus.
+
+    Nodes are laid on a ``width x ceil(n/width)`` grid (default width:
+    ~sqrt(n)); the hop count between two nodes is their wrap-around
+    Manhattan distance, so neighbours talk fast and opposite corners pay.
+    """
+    n = len(node_names)
+    if n == 0:
+        raise ValueError("torus needs nodes")
+    w = width or max(1, int(round(math.sqrt(n))))
+    h = math.ceil(n / w)
+
+    def coords(i: int) -> Tuple[int, int]:
+        return i % w, i // w
+
+    def hops(i: int, j: int) -> int:
+        xi, yi = coords(i)
+        xj, yj = coords(j)
+        dx = min(abs(xi - xj), w - abs(xi - xj))
+        dy = min(abs(yi - yj), h - abs(yi - yj))
+        return max(1, dx + dy)
+
+    return _pairwise(
+        node_names, hops, lambda _i, _j, _h: link_bandwidth, per_hop_latency
+    )
+
+
+def dragonfly(
+    node_names: Sequence[str],
+    group_size: int = 4,
+    local_bandwidth: float = 2500.0,
+    global_bandwidth: float = 1250.0,
+    per_hop_latency: float = 5e-5,
+) -> Interconnect:
+    """A dragonfly: all-to-all groups joined by global links.
+
+    Intra-group pairs take 1 hop at the local rate; inter-group pairs take
+    3 hops (local, global, local) at the global rate.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+
+    def group(i: int) -> int:
+        return i // group_size
+
+    def hops(i: int, j: int) -> int:
+        return 1 if group(i) == group(j) else 3
+
+    def bandwidth(i: int, j: int, _hops: int) -> float:
+        return local_bandwidth if group(i) == group(j) else global_bandwidth
+
+    return _pairwise(node_names, hops, bandwidth, per_hop_latency)
+
+
+TOPOLOGIES = {
+    "uniform": lambda names, **kw: Interconnect.uniform(names, **kw),
+    "switched": lambda names, **kw: Interconnect.switched(names, **kw),
+    "fat-tree": fat_tree,
+    "torus": torus_2d,
+    "dragonfly": dragonfly,
+}
+
+
+def by_name(topology: str, node_names: Sequence[str], **kwargs) -> Interconnect:
+    """Instantiate a topology by short name (see ``TOPOLOGIES``)."""
+    try:
+        factory = TOPOLOGIES[topology]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {topology!r}; available: {sorted(TOPOLOGIES)}"
+        ) from None
+    return factory(node_names, **kwargs)

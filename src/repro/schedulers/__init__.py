@@ -1,0 +1,94 @@
+"""Workflow scheduling algorithms.
+
+The package contains the classical heterogeneous-scheduling baselines the
+paper's family compares against, the schedule representation they produce,
+and the shared estimation context they consult:
+
+* :mod:`~repro.schedulers.schedule` — device timelines + schedules.
+* :mod:`~repro.schedulers.base` — :class:`Scheduler` interface and the
+  :class:`SchedulingContext` (execution/communication estimates).
+* Static list schedulers: :class:`HeftScheduler`, :class:`CpopScheduler`,
+  :class:`PeftScheduler`, :class:`MinMinScheduler`, :class:`MaxMinScheduler`,
+  :class:`LevelWiseScheduler`.
+* Immediate-mode heuristics: :class:`MctScheduler`, :class:`MetScheduler`,
+  :class:`OlbScheduler`, :class:`RoundRobinScheduler`,
+  :class:`RandomScheduler`.
+* Metaheuristic: :class:`GeneticScheduler`.
+* Energy-aware: :class:`EnergyAwareHeftScheduler`.
+
+The paper's own scheduler (HDWS) lives in :mod:`repro.core`.
+"""
+
+from repro.schedulers.base import Scheduler, SchedulingContext, SchedulingError
+from repro.schedulers.schedule import Assignment, DeviceTimeline, Schedule
+from repro.schedulers.heft import HeftScheduler
+from repro.schedulers.cpop import CpopScheduler
+from repro.schedulers.peft import PeftScheduler
+from repro.schedulers.minmin import MinMinScheduler
+from repro.schedulers.maxmin import MaxMinScheduler
+from repro.schedulers.immediate import MctScheduler, MetScheduler, OlbScheduler
+from repro.schedulers.roundrobin import RoundRobinScheduler
+from repro.schedulers.randomsched import RandomScheduler
+from repro.schedulers.levelwise import LevelWiseScheduler
+from repro.schedulers.genetic import GeneticScheduler
+from repro.schedulers.annealing import SimulatedAnnealingScheduler
+from repro.schedulers.lookahead import LookaheadHeftScheduler
+from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
+
+#: All bundled schedulers by short name (HDWS registers itself on import of
+#: repro.core; see repro.core.hdws).
+REGISTRY = {
+    "heft": HeftScheduler,
+    "cpop": CpopScheduler,
+    "peft": PeftScheduler,
+    "minmin": MinMinScheduler,
+    "maxmin": MaxMinScheduler,
+    "mct": MctScheduler,
+    "met": MetScheduler,
+    "olb": OlbScheduler,
+    "roundrobin": RoundRobinScheduler,
+    "random": RandomScheduler,
+    "levelwise": LevelWiseScheduler,
+    "genetic": GeneticScheduler,
+    "annealing": SimulatedAnnealingScheduler,
+    "lookahead-heft": LookaheadHeftScheduler,
+    "energy-heft": EnergyAwareHeftScheduler,
+}
+
+
+def by_name(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by short name."""
+    try:
+        cls = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "Scheduler",
+    "SchedulingContext",
+    "SchedulingError",
+    "Assignment",
+    "DeviceTimeline",
+    "Schedule",
+    "HeftScheduler",
+    "CpopScheduler",
+    "PeftScheduler",
+    "MinMinScheduler",
+    "MaxMinScheduler",
+    "MctScheduler",
+    "MetScheduler",
+    "OlbScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "LevelWiseScheduler",
+    "GeneticScheduler",
+    "SimulatedAnnealingScheduler",
+    "LookaheadHeftScheduler",
+    "EnergyAwareHeftScheduler",
+    "REGISTRY",
+    "by_name",
+]

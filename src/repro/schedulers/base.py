@@ -1,0 +1,247 @@
+"""Scheduler interface and the shared estimation context.
+
+:class:`SchedulingContext` snapshots everything an algorithm may consult —
+eligible devices per task, execution-time estimates, communication and
+staging estimates, and the classical rank helpers — so that every algorithm
+in the zoo prices placements identically and differences in results come
+from *policy*, not from divergent cost models.
+
+Estimates can be systematically perturbed (``estimate_error_cv``) to model
+bad profiling: the perturbation factor is drawn once per task and applied
+across all devices, which is how mis-calibrated profilers actually err.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.platform.cluster import Cluster
+from repro.platform.devices import Device
+from repro.schedulers.schedule import Schedule
+from repro.workflows.graph import Workflow
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no feasible placement exists for some task."""
+
+
+class SchedulingContext:
+    """Precomputed cost estimates for one (workflow, cluster) pair."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        cluster: Cluster,
+        estimate_error_cv: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        release_times: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.workflow = workflow
+        self.cluster = cluster
+        #: Earliest permissible start per task (online arrivals); tasks
+        #: absent from the map may start at time 0.
+        self.release_times: Dict[str, float] = dict(release_times or {})
+        model = cluster.execution_model
+
+        # Per-task systematic estimate error (one factor per task).
+        self._error: Dict[str, float] = {}
+        if estimate_error_cv > 0:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            sigma2 = np.log(1.0 + estimate_error_cv ** 2)
+            for name in workflow.tasks:
+                self._error[name] = float(
+                    rng.lognormal(mean=-0.5 * sigma2, sigma=np.sqrt(sigma2))
+                )
+
+        self._eligible: Dict[str, List[Device]] = {}
+        self._exec: Dict[str, Dict[str, float]] = {}
+        for name, task in workflow.tasks.items():
+            devices = [
+                d for d in cluster.alive_devices()
+                if model.eligible(task, d.spec)
+                and d.spec.memory_gb >= task.memory_gb
+            ]
+            if not devices:
+                raise SchedulingError(
+                    f"task {name!r} has no eligible device on cluster "
+                    f"{cluster.name!r} (classes {task.eligible_classes()}, "
+                    f"memory {task.memory_gb} GB)"
+                )
+            self._eligible[name] = devices
+            factor = self._error.get(name, 1.0)
+            self._exec[name] = {
+                d.uid: model.estimate(task, d.spec) * factor for d in devices
+            }
+
+        # Cluster-average communication figures for rank computations.
+        links = cluster.interconnect.links
+        real_links = [l for l in links if l.src != "<core>"]
+        if real_links and len(cluster.nodes) > 1:
+            self.avg_bandwidth = float(np.mean([l.bandwidth for l in real_links]))
+            self.avg_latency = float(np.mean([l.latency for l in real_links]))
+        else:
+            self.avg_bandwidth = float("inf")
+            self.avg_latency = 0.0
+
+    # ------------------------------------------------------------------ #
+    # execution estimates                                                #
+    # ------------------------------------------------------------------ #
+
+    def eligible_devices(self, task_name: str) -> List[Device]:
+        """Devices this task may run on (affinity, memory and liveness)."""
+        return self._eligible[task_name]
+
+    def exec_time(self, task_name: str, device_uid: str) -> float:
+        """Estimated runtime of a task on a device."""
+        try:
+            return self._exec[task_name][device_uid]
+        except KeyError:
+            raise SchedulingError(
+                f"task {task_name!r} is not eligible on device {device_uid!r}"
+            ) from None
+
+    def mean_exec(self, task_name: str) -> float:
+        """Mean runtime over eligible devices (HEFT's w-bar)."""
+        return float(np.mean(list(self._exec[task_name].values())))
+
+    def best_exec(self, task_name: str) -> float:
+        """Best runtime over eligible devices."""
+        return min(self._exec[task_name].values())
+
+    def best_device(self, task_name: str) -> Device:
+        """The device with the smallest runtime estimate."""
+        uid = min(self._exec[task_name], key=self._exec[task_name].get)
+        return self.cluster.device(uid)
+
+    # ------------------------------------------------------------------ #
+    # communication estimates                                            #
+    # ------------------------------------------------------------------ #
+
+    def comm_time(
+        self, src_task: str, dst_task: str, src_uid: str, dst_uid: str
+    ) -> float:
+        """Estimated edge transfer time for a concrete placement pair."""
+        data = self.workflow.edge_data_mb(src_task, dst_task)
+        if data == 0.0:
+            return 0.0
+        src_node = self.cluster.device(src_uid).node.name
+        dst_node = self.cluster.device(dst_uid).node.name
+        if src_node == dst_node:
+            return 0.0
+        return self.cluster.transfer_estimate(src_node, dst_node, data)
+
+    def mean_comm(self, src_task: str, dst_task: str) -> float:
+        """Placement-agnostic mean edge cost (HEFT's c-bar)."""
+        data = self.workflow.edge_data_mb(src_task, dst_task)
+        if data == 0.0 or self.avg_bandwidth == float("inf"):
+            return 0.0
+        return self.avg_latency + data / self.avg_bandwidth
+
+    def staging_time(self, task_name: str, device_uid: str) -> float:
+        """Estimated time to stage the task's *initial* inputs to a device.
+
+        Initial files born on a node (``DataFile.location``) are pulled
+        over the interconnect; storage-resident ones pay the shared-storage
+        path.
+        """
+        task = self.workflow.tasks[task_name]
+        node = self.cluster.device(device_uid).node.name
+        total = 0.0
+        for fname in task.inputs:
+            f = self.workflow.files[fname]
+            if not f.initial:
+                continue
+            if f.location is None:
+                total += self.cluster.staging_estimate(node, f.size_mb)
+            elif f.location != node:
+                total += self.cluster.transfer_estimate(
+                    f.location, node, f.size_mb
+                )
+        return total
+
+    # ------------------------------------------------------------------ #
+    # rank helpers                                                       #
+    # ------------------------------------------------------------------ #
+
+    def upward_ranks(self, use_best: bool = False) -> Dict[str, float]:
+        """Classical upward ranks: rank_u(t) = w(t) + max_child(c + rank_u).
+
+        ``use_best=True`` replaces the mean execution time with the best
+        over eligible devices (the heterogeneity-aware variant HDWS uses).
+        """
+        ranks: Dict[str, float] = {}
+        weight = self.best_exec if use_best else self.mean_exec
+        for name in reversed(self.workflow.topological_order()):
+            best_child = 0.0
+            for child in self.workflow.successors(name):
+                cand = self.mean_comm(name, child) + ranks[child]
+                if cand > best_child:
+                    best_child = cand
+            ranks[name] = weight(name) + best_child
+        return ranks
+
+    def downward_ranks(self) -> Dict[str, float]:
+        """Classical downward ranks (distance from the entry nodes)."""
+        ranks: Dict[str, float] = {}
+        for name in self.workflow.topological_order():
+            best_parent = 0.0
+            for parent in self.workflow.predecessors(name):
+                cand = (
+                    ranks[parent]
+                    + self.mean_exec(parent)
+                    + self.mean_comm(parent, name)
+                )
+                if cand > best_parent:
+                    best_parent = cand
+            ranks[name] = best_parent
+        return ranks
+
+
+class Scheduler(abc.ABC):
+    """Interface every scheduling algorithm implements."""
+
+    #: Short registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Produce a full static schedule for the context's workflow."""
+
+    def schedule_workflow(self, workflow: Workflow, cluster: Cluster, **ctx_kwargs) -> Schedule:
+        """Convenience wrapper building the context inline."""
+        return self.schedule(SchedulingContext(workflow, cluster, **ctx_kwargs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def eft_placement(
+    context: SchedulingContext,
+    schedule: Schedule,
+    task_name: str,
+    device: Device,
+    allow_insertion: bool = True,
+) -> tuple:
+    """(start, finish) of the earliest finish of ``task_name`` on ``device``.
+
+    The data-ready time accounts for predecessor finishes plus edge
+    transfers plus initial-input staging; the start then respects the
+    device timeline with optional insertion.
+    """
+    dst_uid = device.uid
+    ready = context.staging_time(task_name, dst_uid)
+    release = context.release_times.get(task_name, 0.0)
+    if release > ready:
+        ready = release
+    for pred in context.workflow.predecessors(task_name):
+        pa = schedule.assignments[pred]
+        arrival = pa.finish + context.comm_time(pred, task_name, pa.device, dst_uid)
+        if arrival > ready:
+            ready = arrival
+    duration = context.exec_time(task_name, dst_uid)
+    start = schedule.timeline(dst_uid).earliest_fit(ready, duration, allow_insertion)
+    return start, start + duration

@@ -1,0 +1,98 @@
+"""CPOP — Critical Path On a Processor (Topcuoglu et al., 2002).
+
+Companion algorithm to HEFT: tasks are prioritized by the *sum* of upward
+and downward rank; tasks on the critical path (those whose priority equals
+the graph's critical-path length) are pinned to the single device that
+minimizes the critical path's total execution time, while off-path tasks
+fall back to earliest-finish-time placement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Set
+
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.schedule import Schedule
+
+
+class CpopScheduler(Scheduler):
+    """Critical-Path-On-a-Processor list scheduler."""
+
+    name = "cpop"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Pin the critical path to its best single device, EFT the rest."""
+        wf = context.workflow
+        up = context.upward_ranks()
+        down = context.downward_ranks()
+        priority = {name: up[name] + down[name] for name in wf.tasks}
+        cp_length = max(up[e] for e in wf.entry_tasks())
+
+        critical: Set[str] = set()
+        # Walk the critical path from the highest-priority entry task.
+        current = max(
+            wf.entry_tasks(), key=lambda n: (priority[n], n)
+        )
+        critical.add(current)
+        while wf.successors(current):
+            nxt = max(
+                wf.successors(current), key=lambda n: (priority[n], n)
+            )
+            critical.add(nxt)
+            current = nxt
+
+        cp_device = self._best_cp_device(context, critical)
+
+        # Priority-queue driven list scheduling over ready tasks.
+        schedule = Schedule()
+        indeg: Dict[str, int] = {
+            n: len(wf.predecessors(n)) for n in wf.tasks
+        }
+        heap = [(-priority[n], n) for n, d in indeg.items() if d == 0]
+        heapq.heapify(heap)
+        scheduled = 0
+        while heap:
+            _p, name = heapq.heappop(heap)
+            if name in critical and cp_device is not None:
+                start, finish = eft_placement(context, schedule, name, cp_device)
+                schedule.add(name, cp_device.uid, start, finish)
+            else:
+                best = None
+                for device in context.eligible_devices(name):
+                    start, finish = eft_placement(context, schedule, name, device)
+                    if best is None or finish < best[2] - 1e-15:
+                        best = (device, start, finish)
+                device, start, finish = best
+                schedule.add(name, device.uid, start, finish)
+            scheduled += 1
+            for child in wf.successors(name):
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    heapq.heappush(heap, (-priority[child], child))
+        if scheduled != wf.n_tasks:  # pragma: no cover - defensive
+            raise RuntimeError("CPOP failed to schedule every task (cycle?)")
+        return schedule
+
+    def _best_cp_device(self, context: SchedulingContext, critical: Set[str]):
+        """Device minimizing total execution of the critical path.
+
+        A device qualifying must be eligible for *every* critical task;
+        when none is (common with mixed CPU-only/GPU-only paths), CPOP
+        degenerates gracefully to pure EFT placement (returns None).
+        """
+        best_device = None
+        best_total = float("inf")
+        for device in context.cluster.alive_devices():
+            total = 0.0
+            ok = True
+            for name in critical:
+                eligible = {d.uid for d in context.eligible_devices(name)}
+                if device.uid not in eligible:
+                    ok = False
+                    break
+                total += context.exec_time(name, device.uid)
+            if ok and total < best_total:
+                best_total = total
+                best_device = device
+        return best_device

@@ -1,0 +1,115 @@
+"""Energy-aware bi-objective scheduling.
+
+``EnergyAwareHeftScheduler`` keeps HEFT's ranking but scores each candidate
+placement by a convex combination of normalized finish time and normalized
+execution energy::
+
+    score = alpha * EFT/EFT_min  +  (1 - alpha) * E/E_min
+
+``alpha=1`` recovers plain HEFT; ``alpha=0`` minimizes energy alone.
+Sweeping alpha traces the energy/makespan Pareto front (experiment F7).
+
+When a device exposes DVFS states, every state is evaluated as a separate
+candidate: running a non-critical task in a low-power state often buys
+energy at zero makespan cost because the slack absorbs the slowdown.  The
+chosen state is recorded in ``Schedule.dvfs_choice`` so the executor and
+energy accounting replay it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.platform.power import DvfsState
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.schedulers.schedule import Schedule
+
+
+class EnergyAwareHeftScheduler(Scheduler):
+    """HEFT ranking with energy/makespan trade-off placement."""
+
+    name = "energy-heft"
+
+    def __init__(self, alpha: float = 0.5, use_dvfs: bool = True) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.use_dvfs = use_dvfs
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Rank like HEFT, place by the bi-objective score."""
+        ranks = context.upward_ranks()
+        topo_index = {
+            n: i for i, n in enumerate(context.workflow.topological_order())
+        }
+        order = sorted(
+            context.workflow.tasks, key=lambda n: (-ranks[n], topo_index[n])
+        )
+
+        schedule = Schedule()
+        for name in order:
+            candidates = self._candidates(context, schedule, name)
+            best_finish = min(c[2] for c in candidates)
+            best_energy = min(c[3] for c in candidates)
+            scored = []
+            for device, start, finish, energy, state in candidates:
+                s = (
+                    self.alpha * finish / max(best_finish, 1e-12)
+                    + (1.0 - self.alpha) * energy / max(best_energy, 1e-12)
+                )
+                scored.append((s, finish, device.uid, device, start, state))
+            scored.sort(key=lambda c: (c[0], c[1], c[2]))
+            _s, finish, _uid, device, start, state = scored[0]
+            schedule.add(name, device.uid, start, finish)
+            if state is not None:
+                schedule.dvfs_choice[name] = state.name
+        return schedule
+
+    def _candidates(
+        self, context: SchedulingContext, schedule: Schedule, name: str
+    ) -> List[Tuple]:
+        """All (device, start, finish, energy, dvfs_state) options."""
+        from repro.schedulers.base import eft_placement
+
+        out: List[Tuple] = []
+        task = context.workflow.tasks[name]
+        model = context.cluster.execution_model
+        for device in context.eligible_devices(name):
+            states: List[Optional[DvfsState]] = [None]
+            if self.use_dvfs:
+                states += list(device.spec.power.dvfs_states)
+            base_time = context.exec_time(name, device.uid)
+            for state in states:
+                # DVFS stretches execution time by 1/freq_scale; the
+                # context's (possibly perturbed) estimate is rescaled
+                # rather than recomputed so perturbations stay consistent.
+                duration = base_time if state is None else base_time / state.freq_scale
+                start, finish = _placement_with_duration(
+                    context, schedule, name, device, duration
+                )
+                power = device.spec.power.busy_power(state)
+                energy = power * duration
+                out.append((device, start, finish, energy, state))
+        return out
+
+
+def _placement_with_duration(
+    context: SchedulingContext,
+    schedule: Schedule,
+    name: str,
+    device,
+    duration: float,
+) -> Tuple[float, float]:
+    """EFT-style placement for a caller-supplied duration (DVFS-scaled)."""
+    dst_uid = device.uid
+    ready = context.staging_time(name, dst_uid)
+    release = context.release_times.get(name, 0.0)
+    if release > ready:
+        ready = release
+    for pred in context.workflow.predecessors(name):
+        pa = schedule.assignments[pred]
+        arrival = pa.finish + context.comm_time(pred, name, pa.device, dst_uid)
+        if arrival > ready:
+            ready = arrival
+    start = schedule.timeline(dst_uid).earliest_fit(ready, duration)
+    return start, start + duration

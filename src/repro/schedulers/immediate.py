@@ -1,0 +1,75 @@
+"""Immediate-mode mapping heuristics: MCT, MET, OLB.
+
+The classical trio from the heterogeneous-computing mapping literature
+(Braun et al.): tasks are taken one at a time in a fixed topological order
+and mapped immediately, with no batch reconsideration.
+
+* **MCT** (Minimum Completion Time): device minimizing this task's
+  completion time — a decent greedy baseline.
+* **MET** (Minimum Execution Time): device minimizing raw execution time,
+  ignoring availability — piles everything onto the fastest device class.
+* **OLB** (Opportunistic Load Balancing): earliest-available device,
+  ignoring execution time — balances load but wastes heterogeneity.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.schedule import Schedule
+
+
+class MctScheduler(Scheduler):
+    """Minimum Completion Time immediate-mode mapper."""
+
+    name = "mct"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Map tasks in topological order to their min-completion device."""
+        schedule = Schedule()
+        for name in context.workflow.topological_order():
+            best = None
+            for device in context.eligible_devices(name):
+                start, finish = eft_placement(context, schedule, name, device)
+                if best is None or finish < best[2] - 1e-15:
+                    best = (device, start, finish)
+            device, start, finish = best
+            schedule.add(name, device.uid, start, finish)
+        return schedule
+
+
+class MetScheduler(Scheduler):
+    """Minimum Execution Time immediate-mode mapper (availability-blind)."""
+
+    name = "met"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Map each task to its fastest device, then fit on its timeline."""
+        schedule = Schedule()
+        for name in context.workflow.topological_order():
+            device = min(
+                context.eligible_devices(name),
+                key=lambda d: (context.exec_time(name, d.uid), d.uid),
+            )
+            start, finish = eft_placement(context, schedule, name, device)
+            schedule.add(name, device.uid, start, finish)
+        return schedule
+
+
+class OlbScheduler(Scheduler):
+    """Opportunistic Load Balancing (execution-time-blind)."""
+
+    name = "olb"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Map each task to the earliest-available eligible device."""
+        schedule = Schedule()
+        for name in context.workflow.topological_order():
+            device = min(
+                context.eligible_devices(name),
+                key=lambda d: (schedule.timeline(d.uid).free_at(), d.uid),
+            )
+            start, finish = eft_placement(
+                context, schedule, name, device, allow_insertion=False
+            )
+            schedule.add(name, device.uid, start, finish)
+        return schedule

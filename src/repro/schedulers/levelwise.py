@@ -1,0 +1,36 @@
+"""Level-by-level scheduling.
+
+Groups tasks by DAG depth and schedules each level as an independent bag
+using longest-processing-time-first EFT within the level.  Levels act as
+barriers in the *ordering* only (placements still respect exact
+data-ready times), which mimics how bulk-synchronous workflow engines
+dispatch stage by stage.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.schedule import Schedule
+
+
+class LevelWiseScheduler(Scheduler):
+    """Stage-by-stage LPT + earliest-finish placement."""
+
+    name = "levelwise"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Schedule levels in order, longest tasks first within a level."""
+        schedule = Schedule()
+        for level in context.workflow.levels():
+            ordered = sorted(
+                level, key=lambda n: (-context.mean_exec(n), n)
+            )
+            for name in ordered:
+                best = None
+                for device in context.eligible_devices(name):
+                    start, finish = eft_placement(context, schedule, name, device)
+                    if best is None or finish < best[2] - 1e-15:
+                        best = (device, start, finish)
+                device, start, finish = best
+                schedule.add(name, device.uid, start, finish)
+        return schedule

@@ -1,0 +1,18 @@
+"""Max-Min batch heuristic.
+
+Identical machinery to Min-Min but commits the ready task whose *best*
+completion time is largest — front-loading long tasks so they overlap the
+sea of short ones.  Often beats Min-Min on workflows with a few dominant
+tasks (SIPHT's Findterm) and loses on uniform bags.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.minmin import MinMinScheduler
+
+
+class MaxMinScheduler(MinMinScheduler):
+    """Batch-mode Max-Min over the ready frontier."""
+
+    name = "maxmin"
+    take_max = True

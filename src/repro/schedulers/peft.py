@@ -1,0 +1,87 @@
+"""PEFT — Predict Earliest Finish Time (Arabnejad & Barbosa, 2014).
+
+Extends HEFT with one level of lookahead via the Optimistic Cost Table:
+``OCT[t][d]`` is the optimistic remaining path length if ``t`` runs on
+``d``, assuming every descendant also gets its best device.  Tasks are
+ranked by their mean OCT row and placed on the device minimizing
+``EFT + OCT`` rather than bare EFT, which avoids greedily grabbing a fast
+device that dooms a child.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict
+
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.schedule import Schedule
+
+
+def optimistic_cost_table(context: SchedulingContext) -> Dict[str, Dict[str, float]]:
+    """OCT[t][d] over eligible devices, computed bottom-up.
+
+    ``OCT[t][d]`` is the optimistic remaining path length below ``t`` if it
+    runs on ``d`` and every descendant gets its best device.  Exit tasks
+    have an all-zero row.  Shared by PEFT and by HDWS's lookahead term.
+    """
+    wf = context.workflow
+    table: Dict[str, Dict[str, float]] = {}
+    for name in reversed(wf.topological_order()):
+        row: Dict[str, float] = {}
+        children = wf.successors(name)
+        for device in context.eligible_devices(name):
+            worst_child = 0.0
+            for child in children:
+                best_for_child = float("inf")
+                for cdev in context.eligible_devices(child):
+                    cost = table[child][cdev.uid] + context.exec_time(
+                        child, cdev.uid
+                    )
+                    if cdev.uid != device.uid:
+                        cost += context.mean_comm(name, child)
+                    if cost < best_for_child:
+                        best_for_child = cost
+                if best_for_child > worst_child:
+                    worst_child = best_for_child
+            row[device.uid] = worst_child
+        table[name] = row
+    return table
+
+
+class PeftScheduler(Scheduler):
+    """Lookahead list scheduler based on the Optimistic Cost Table."""
+
+    name = "peft"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Build the OCT, rank by its row means, place by EFT + OCT."""
+        wf = context.workflow
+        oct_table = optimistic_cost_table(context)
+        rank = {
+            name: sum(row.values()) / len(row)
+            for name, row in oct_table.items()
+        }
+
+        schedule = Schedule()
+        indeg: Dict[str, int] = {n: len(wf.predecessors(n)) for n in wf.tasks}
+        heap = [(-rank[n], n) for n, d in indeg.items() if d == 0]
+        heapq.heapify(heap)
+        while heap:
+            _r, name = heapq.heappop(heap)
+            best = None
+            for device in context.eligible_devices(name):
+                start, finish = eft_placement(context, schedule, name, device)
+                score = finish + oct_table[name][device.uid]
+                if best is None or score < best[3] - 1e-15:
+                    best = (device, start, finish, score)
+            device, start, finish, _score = best
+            schedule.add(name, device.uid, start, finish)
+            for child in wf.successors(name):
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    heapq.heappush(heap, (-rank[child], child))
+        return schedule
+
+    def _optimistic_cost_table(self, context: SchedulingContext):
+        """Back-compat alias for :func:`optimistic_cost_table`."""
+        return optimistic_cost_table(context)

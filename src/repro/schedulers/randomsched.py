@@ -1,0 +1,35 @@
+"""Uniform-random device assignment — the statistical floor.
+
+Each task gets a uniformly random eligible device.  Reported alongside the
+heuristics to show how much structure-awareness (rather than mere
+legality) buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.schedule import Schedule
+
+
+class RandomScheduler(Scheduler):
+    """Random eligible placement, seeded for reproducibility."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Place each task on a uniformly random eligible device."""
+        rng = np.random.default_rng(self.seed)
+        schedule = Schedule()
+        for name in context.workflow.topological_order():
+            devices = context.eligible_devices(name)
+            device = devices[int(rng.integers(0, len(devices)))]
+            start, finish = eft_placement(
+                context, schedule, name, device, allow_insertion=False
+            )
+            schedule.add(name, device.uid, start, finish)
+        return schedule

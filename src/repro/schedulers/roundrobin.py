@@ -1,0 +1,37 @@
+"""Round-robin device assignment — the weakest sensible baseline.
+
+Tasks in topological order are dealt to eligible devices cyclically.  The
+global cycle position advances across tasks, so heterogeneity, load and
+communication are all ignored; only precedence is respected.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.schedule import Schedule
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cyclic dealing of tasks to eligible devices."""
+
+    name = "roundrobin"
+
+    def schedule(self, context: SchedulingContext) -> Schedule:
+        """Deal tasks to devices in a fixed global rotation."""
+        schedule = Schedule()
+        all_devices = [d.uid for d in context.cluster.alive_devices()]
+        cursor = 0
+        for name in context.workflow.topological_order():
+            eligible = {d.uid for d in context.eligible_devices(name)}
+            # Advance the global cursor to the next eligible device.
+            for step in range(len(all_devices)):
+                uid = all_devices[(cursor + step) % len(all_devices)]
+                if uid in eligible:
+                    cursor = (cursor + step + 1) % len(all_devices)
+                    device = context.cluster.device(uid)
+                    break
+            start, finish = eft_placement(
+                context, schedule, name, device, allow_insertion=False
+            )
+            schedule.add(name, device.uid, start, finish)
+        return schedule

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel.
+
+This package provides the minimal, deterministic discrete-event machinery on
+which the heterogeneous platform model and the workflow orchestrator run:
+
+* :class:`~repro.sim.engine.Simulator` — virtual clock + event queue.
+* :class:`~repro.sim.engine.EventHandle` — cancellable scheduled events.
+* :class:`~repro.sim.rng.RngStreams` — named, reproducible random substreams.
+* :class:`~repro.sim.trace.TraceRecorder` — structured execution traces used
+  by the analysis layer (Gantt charts, utilization, transfer accounting).
+
+The kernel is callback-based rather than coroutine-based: every scheduled
+event is a plain callable invoked at its due time.  This keeps the engine
+small, easy to test exhaustively, and free of hidden state — determinism is
+guaranteed by a (time, priority, sequence-number) total order on events.
+"""
+
+from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "SimulationError",
+    "RngStreams",
+    "TraceRecorder",
+    "TraceRecord",
+]

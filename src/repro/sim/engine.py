@@ -1,0 +1,194 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine maintains a virtual clock and a priority queue of pending events.
+Events scheduled for the same instant are ordered first by an integer
+``priority`` (lower runs first) and then by insertion order, which makes every
+simulation run bit-for-bit reproducible regardless of hash randomization or
+dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Instances are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at`.  Cancelling a handle is O(1): the entry is
+    tombstoned and skipped when it reaches the head of the queue.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; it will never fire."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<EventHandle t={self.time:.6g} {name} {state}>"
+
+
+class Simulator:
+    """Virtual clock plus event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, on_task_done, task)
+        sim.run()
+        assert sim.now == 5.0
+
+    The engine never advances time except by draining events, so ``now`` is
+    always the timestamp of the most recently fired event (or the initial
+    time if nothing has fired).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (cancelled ones excluded)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queue entries not yet fired (includes tombstones)."""
+        return sum(1 for entry in self._queue if not entry[3].cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` after ``now``.
+
+        ``delay`` must be non-negative.  ``priority`` breaks ties among
+        events at the same instant (lower fires first); the default 0 is
+        appropriate for almost all callers.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, priority, next(self._seq), callback, tuple(args))
+        heapq.heappush(self._queue, (time, priority, handle.seq, handle))
+        return handle
+
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns True if an event fired, False if the queue was empty.
+        """
+        while self._queue:
+            time, _priority, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.cancelled = True  # consumed; keeps .active meaning "pending"
+            self._events_fired += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Drain the event queue.
+
+        ``until`` stops the run once the next event lies strictly beyond that
+        time (the clock is then advanced to ``until``).  ``max_events`` bounds
+        the number of events fired, as a runaway-simulation backstop.
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if self.step():
+                    fired += 1
+            if until is not None and self._now < until and not self._queue:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        """Time of the next live event, discarding tombstones; None if empty."""
+        while self._queue:
+            time, _priority, _seq, handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None
+
+    def clear(self) -> None:
+        """Cancel every pending event (the clock is left untouched)."""
+        for _time, _priority, _seq, handle in self._queue:
+            handle.cancelled = True
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.6g} pending={self.pending}>"

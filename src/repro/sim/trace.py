@@ -1,0 +1,100 @@
+"""Structured execution traces.
+
+Every observable action in a simulated run — a task starting on a device, a
+file transfer, a fault, a DVFS transition — is appended to a
+:class:`TraceRecorder` as a :class:`TraceRecord`.  The analysis layer
+(:mod:`repro.analysis`) consumes these traces to compute utilization, build
+Gantt charts, and account for data movement, without the orchestrator having
+to know what will be analyzed later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped trace entry.
+
+    ``kind`` is a short dotted tag (``task.start``, ``task.finish``,
+    ``transfer.start``, ``fault.inject``, ...); ``data`` carries the
+    kind-specific payload (task ids, device names, byte counts).
+    """
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into the payload."""
+        return self.data.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only event trace with simple query helpers.
+
+    Recording can be disabled wholesale (``enabled=False``) to remove
+    tracing overhead from large benchmark sweeps; queries then see an empty
+    trace.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        """Append one record (no-op when disabled)."""
+        if self.enabled:
+            self._records.append(TraceRecord(time, kind, data))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records in chronological (insertion) order."""
+        return list(self._records)
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records whose kind matches exactly."""
+        return [r for r in self._records if r.kind == kind]
+
+    def matching(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        """All records satisfying an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        counts: Dict[str, int] = {}
+        for r in self._records:
+            counts[r.kind] = counts.get(r.kind, 0) + 1
+        return counts
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        """Earliest record of the given kind, or None."""
+        for r in self._records:
+            if r.kind == kind:
+                return r
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """Latest record of the given kind, or None."""
+        for r in reversed(self._records):
+            if r.kind == kind:
+                return r
+        return None
+
+    def span(self) -> float:
+        """Time between the first and last record (0 for empty traces)."""
+        if not self._records:
+            return 0.0
+        return self._records[-1].time - self._records[0].time
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

@@ -1,0 +1,70 @@
+"""Structure-faithful scientific workflow generators.
+
+Each generator reproduces the published DAG *shape* of its suite — stage
+cardinalities, fan-in/fan-out structure, relative task weights and data-size
+distributions follow the workflow characterizations used by the Pegasus
+community (Bharathi et al., "Characterization of Scientific Workflows") —
+while the absolute work/size scales are parameters.  Accelerator affinities
+encode which stages are data-parallel kernels (FFT synthesis, matched
+filtering, read mapping, reprojection) versus irregular/IO-bound glue.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.workflows.generators.montage import montage
+from repro.workflows.generators.cybershake import cybershake
+from repro.workflows.generators.epigenomics import epigenomics
+from repro.workflows.generators.ligo import ligo_inspiral
+from repro.workflows.generators.sipht import sipht
+from repro.workflows.generators.soykb import soykb
+from repro.workflows.generators.blast import blast
+from repro.workflows.generators.mlpipeline import ml_pipeline
+from repro.workflows.generators.random_dag import random_dag
+from repro.workflows.generators.layered import layered_dag
+
+#: The five canonical suites of the evaluation, by name.
+SCIENTIFIC_SUITES = {
+    "montage": montage,
+    "cybershake": cybershake,
+    "epigenomics": epigenomics,
+    "ligo": ligo_inspiral,
+    "sipht": sipht,
+}
+
+#: All named generators, including synthetic ones.
+ALL_GENERATORS = {
+    **SCIENTIFIC_SUITES,
+    "soykb": soykb,
+    "blast": blast,
+    "mlpipeline": ml_pipeline,
+    "random": random_dag,
+    "layered": layered_dag,
+}
+
+
+def by_name(name: str, **kwargs):
+    """Instantiate a generator by short name (see ``ALL_GENERATORS``)."""
+    try:
+        gen = ALL_GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workflow generator {name!r}; available: {sorted(ALL_GENERATORS)}"
+        ) from None
+    return gen(**kwargs)
+
+
+__all__ = [
+    "montage",
+    "cybershake",
+    "epigenomics",
+    "ligo_inspiral",
+    "sipht",
+    "soykb",
+    "blast",
+    "ml_pipeline",
+    "random_dag",
+    "layered_dag",
+    "SCIENTIFIC_SUITES",
+    "ALL_GENERATORS",
+    "by_name",
+]

@@ -1,0 +1,58 @@
+"""Shared helpers for workflow generators.
+
+Generators draw task work and file sizes from truncated distributions via a
+:class:`GenContext`, which wraps a seeded generator and guarantees strictly
+positive draws (a zero-size file or zero-work compute task would degenerate
+the scheduling problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class GenContext:
+    """Seeded sampling context handed through a generator."""
+
+    rng: np.random.Generator
+
+    @classmethod
+    def from_seed(cls, seed: int, stream: str = "workflow-gen") -> "GenContext":
+        """Build a context from an integer seed."""
+        return cls(RngStreams(seed).stream(stream))
+
+    def work(self, mean: float, cv: float = 0.3, floor: float = 0.01) -> float:
+        """Draw a task work figure (Gop), gamma-distributed around ``mean``."""
+        return self._positive(mean, cv, floor)
+
+    def size_mb(self, mean: float, cv: float = 0.5, floor: float = 0.001) -> float:
+        """Draw a file size (MB), gamma-distributed around ``mean``."""
+        return self._positive(mean, cv, floor)
+
+    def _positive(self, mean: float, cv: float, floor: float) -> float:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        if cv <= 0:
+            return float(mean)
+        shape = 1.0 / (cv * cv)
+        scale = mean / shape
+        return float(max(floor, self.rng.gamma(shape, scale)))
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        if high < low:
+            raise ValueError("empty integer range")
+        return int(self.rng.integers(low, high + 1))
+
+
+def resolve_context(seed: Optional[int], ctx: Optional[GenContext]) -> GenContext:
+    """Resolve the (seed, ctx) generator arguments to a concrete context."""
+    if ctx is not None:
+        return ctx
+    return GenContext.from_seed(0 if seed is None else seed)

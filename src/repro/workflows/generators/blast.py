@@ -1,0 +1,69 @@
+"""BLAST-like sequence-search workflow (scatter/compute/gather).
+
+The simplest discovery pattern: split a query set into chunks, run an
+embarrassingly parallel alignment stage against a shared database, merge
+results.  Included as a sixth workload because its bag-of-tasks shape is
+the best case for greedy schedulers — a useful control next to the
+structured suites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def blast(
+    n_chunks: Optional[int] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate a BLAST scatter/gather workflow.
+
+    Args:
+        n_chunks: Width of the alignment stage.
+        size: Approximate total task count (tasks = chunks + 2).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if n_chunks is None:
+        target = 34 if size is None else size
+        n_chunks = max(1, target - 2)
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"blast-{n_chunks}")
+
+    queries = wf.add_file(DataFile("queries.fa", c.size_mb(50.0), initial=True))
+    database = wf.add_file(DataFile("nr.db", c.size_mb(5000.0, cv=0.05), initial=True))
+
+    chunk_files = [
+        wf.add_file(DataFile(f"chunk_{k}.fa", c.size_mb(50.0 / n_chunks)))
+        for k in range(n_chunks)
+    ]
+    wf.add_task(cpu_task(
+        "splitQuery", c.work(5.0),
+        inputs=(queries.name,), outputs=tuple(f.name for f in chunk_files),
+        category="splitQuery",
+    ))
+
+    result_files = []
+    for k in range(n_chunks):
+        out = wf.add_file(DataFile(f"hits_{k}.xml", c.size_mb(2.0)))
+        result_files.append(out)
+        wf.add_task(accelerable_task(
+            f"blastall_{k}", c.work(400.0), fpga=22.0, gpu=4.0, manycore=3.0,
+            inputs=(chunk_files[k].name, database.name), outputs=(out.name,),
+            category="blastall", memory_gb=12.0,
+        ))
+
+    merged = wf.add_file(DataFile("hits_all.xml", c.size_mb(2.0 * n_chunks)))
+    wf.add_task(cpu_task(
+        "mergeResults", c.work(1.0 * n_chunks, cv=0.1),
+        inputs=tuple(f.name for f in result_files), outputs=(merged.name,),
+        category="mergeResults", memory_gb=4.0,
+    ))
+
+    return wf

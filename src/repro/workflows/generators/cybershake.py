@@ -1,0 +1,89 @@
+"""CyberShake — probabilistic seismic hazard analysis workflow.
+
+Shape: huge initial strain-green-tensor (SGT) files feed a wide
+``ExtractSGT`` stage (one per rupture variation), each extraction feeds one
+``SeismogramSynthesis`` task (the dominant, FFT-heavy kernel — strongly
+GPU/TPU friendly), whose seismograms feed small ``PeakValCalcOkaya`` tasks;
+two zip stages aggregate the seismograms and the peak values.
+
+CyberShake is the data-heaviest of the five suites — the SGT extractions
+pull hundreds of MB each — which is why it anchors the data-locality and
+fault-tolerance experiments (F6, F5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def cybershake(
+    n_variations: Optional[int] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate a CyberShake workflow.
+
+    Args:
+        n_variations: Number of rupture variations (stage width).
+        size: Approximate total task count (tasks ~= 3v + 2).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if n_variations is None:
+        target = 50 if size is None else size
+        n_variations = max(1, round((target - 2) / 3))
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"cybershake-{n_variations}")
+
+    sgt_x = wf.add_file(DataFile("sgt_x.bin", c.size_mb(1500.0, cv=0.1), initial=True))
+    sgt_y = wf.add_file(DataFile("sgt_y.bin", c.size_mb(1500.0, cv=0.1), initial=True))
+    rupture = wf.add_file(DataFile("ruptures.txt", 1.0, initial=True))
+
+    seis_files = []
+    peak_files = []
+    for v in range(n_variations):
+        sub_sgt = wf.add_file(DataFile(f"subsgt_{v}.bin", c.size_mb(180.0)))
+        wf.add_task(cpu_task(
+            f"ExtractSGT_{v}", c.work(40.0),
+            inputs=(sgt_x.name, sgt_y.name, rupture.name),
+            outputs=(sub_sgt.name,),
+            category="ExtractSGT", memory_gb=4.0,
+        ))
+
+        seis = wf.add_file(DataFile(f"seismogram_{v}.grm", c.size_mb(20.0)))
+        seis_files.append(seis)
+        wf.add_task(accelerable_task(
+            f"SeismogramSynthesis_{v}", c.work(900.0), gpu=25.0, tpu=30.0,
+            manycore=4.0,
+            inputs=(sub_sgt.name, rupture.name), outputs=(seis.name,),
+            category="SeismogramSynthesis", memory_gb=6.0,
+        ))
+
+        peak = wf.add_file(DataFile(f"peak_{v}.bsa", c.size_mb(0.1)))
+        peak_files.append(peak)
+        wf.add_task(cpu_task(
+            f"PeakValCalcOkaya_{v}", c.work(4.0),
+            inputs=(seis.name,), outputs=(peak.name,),
+            category="PeakValCalcOkaya", memory_gb=1.0,
+        ))
+
+    zip_seis = wf.add_file(DataFile("seismograms.zip", c.size_mb(15.0 * n_variations)))
+    wf.add_task(cpu_task(
+        "ZipSeis", c.work(2.0 * n_variations, cv=0.1),
+        inputs=tuple(f.name for f in seis_files), outputs=(zip_seis.name,),
+        category="ZipSeis", memory_gb=2.0,
+    ))
+
+    zip_psa = wf.add_file(DataFile("peaks.zip", c.size_mb(0.08 * n_variations)))
+    wf.add_task(cpu_task(
+        "ZipPSA", c.work(0.5 * n_variations, cv=0.1),
+        inputs=tuple(f.name for f in peak_files), outputs=(zip_psa.name,),
+        category="ZipPSA", memory_gb=1.0,
+    ))
+
+    return wf

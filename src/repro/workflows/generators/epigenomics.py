@@ -1,0 +1,124 @@
+"""Epigenomics — DNA methylation sequencing pipeline.
+
+Shape: independent *lanes* of sequencer output, each split into chunks that
+flow through a four-deep per-chunk pipeline
+(``filterContams`` → ``sol2sanger`` → ``fastq2bfq`` → ``map``), merged per
+lane (``mapMerge``), then globally indexed and piled up
+(``maqIndex`` → ``pileup``).  The ``map`` stage (read alignment) dominates
+runtime and is the accelerable kernel (GPU/FPGA aligners); the format
+conversions are cheap CPU glue.
+
+The deep per-chunk chains give Epigenomics the highest serial fraction of
+the five suites, so schedulers that chase raw width (Min-Min) underperform
+critical-path-aware ones here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def epigenomics(
+    n_lanes: int = 2,
+    chunks_per_lane: Optional[int] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate an Epigenomics workflow.
+
+    Args:
+        n_lanes: Independent sequencer lanes.
+        chunks_per_lane: Split width per lane.
+        size: Approximate total task count
+            (tasks ~= lanes * (4*chunks + 2) + 2).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if chunks_per_lane is None:
+        target = 50 if size is None else size
+        chunks_per_lane = max(1, round((target - 2 - 2 * n_lanes) / (4 * n_lanes)))
+    if n_lanes < 1 or chunks_per_lane < 1:
+        raise ValueError("epigenomics needs >=1 lane and >=1 chunk per lane")
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"epigenomics-{n_lanes}x{chunks_per_lane}")
+
+    ref = wf.add_file(DataFile("reference.fa", c.size_mb(3000.0, cv=0.05), initial=True))
+
+    merged_per_lane = []
+    for lane in range(n_lanes):
+        fastq = wf.add_file(DataFile(
+            f"lane{lane}.fastq", c.size_mb(400.0), initial=True))
+        chunk_files = []
+        for k in range(chunks_per_lane):
+            chunk_files.append(wf.add_file(DataFile(
+                f"l{lane}_chunk{k}.fastq", c.size_mb(400.0 / chunks_per_lane))))
+        wf.add_task(cpu_task(
+            f"fastQSplit_l{lane}", c.work(20.0),
+            inputs=(fastq.name,), outputs=tuple(f.name for f in chunk_files),
+            category="fastQSplit", memory_gb=2.0,
+        ))
+
+        mapped = []
+        for k in range(chunks_per_lane):
+            filt = wf.add_file(DataFile(
+                f"l{lane}_filt{k}.fastq", c.size_mb(350.0 / chunks_per_lane)))
+            wf.add_task(cpu_task(
+                f"filterContams_l{lane}_{k}", c.work(15.0),
+                inputs=(chunk_files[k].name,), outputs=(filt.name,),
+                category="filterContams",
+            ))
+
+            sanger = wf.add_file(DataFile(
+                f"l{lane}_sanger{k}.fastq", c.size_mb(350.0 / chunks_per_lane)))
+            wf.add_task(cpu_task(
+                f"sol2sanger_l{lane}_{k}", c.work(8.0),
+                inputs=(filt.name,), outputs=(sanger.name,),
+                category="sol2sanger",
+            ))
+
+            bfq = wf.add_file(DataFile(
+                f"l{lane}_bfq{k}.bfq", c.size_mb(150.0 / chunks_per_lane)))
+            wf.add_task(cpu_task(
+                f"fastq2bfq_l{lane}_{k}", c.work(6.0),
+                inputs=(sanger.name,), outputs=(bfq.name,),
+                category="fastq2bfq",
+            ))
+
+            mapped_f = wf.add_file(DataFile(
+                f"l{lane}_map{k}.map", c.size_mb(120.0 / chunks_per_lane)))
+            mapped.append(mapped_f)
+            wf.add_task(accelerable_task(
+                f"map_l{lane}_{k}", c.work(600.0), gpu=15.0, fpga=20.0,
+                manycore=3.5,
+                inputs=(bfq.name, ref.name), outputs=(mapped_f.name,),
+                category="map", memory_gb=8.0,
+            ))
+
+        lane_map = wf.add_file(DataFile(f"l{lane}_merged.map", c.size_mb(120.0)))
+        merged_per_lane.append(lane_map)
+        wf.add_task(cpu_task(
+            f"mapMerge_l{lane}", c.work(25.0),
+            inputs=tuple(f.name for f in mapped), outputs=(lane_map.name,),
+            category="mapMerge", memory_gb=4.0,
+        ))
+
+    index = wf.add_file(DataFile("maq.index", c.size_mb(200.0)))
+    wf.add_task(cpu_task(
+        "maqIndex", c.work(80.0),
+        inputs=tuple(f.name for f in merged_per_lane), outputs=(index.name,),
+        category="maqIndex", memory_gb=8.0,
+    ))
+
+    pile = wf.add_file(DataFile("pileup.txt", c.size_mb(80.0)))
+    wf.add_task(cpu_task(
+        "pileup", c.work(120.0),
+        inputs=(index.name,), outputs=(pile.name,),
+        category="pileup", memory_gb=8.0,
+    ))
+
+    return wf

@@ -1,0 +1,104 @@
+"""Layered (fork-join) DAG generator.
+
+Produces a regular stack of layers with configurable width and inter-layer
+connectivity — the structure used for controlled experiments where only
+one variable (width, depth, fan-in) should change at a time.  A fully
+connected pair of adjacent layers gives classic fork-join barriers; sparse
+connectivity gives pipelined lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.devices import DeviceClass
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, Task
+
+
+def layered_dag(
+    layers: int = 5,
+    width: Optional[int] = None,
+    size: Optional[int] = None,
+    fan_in: Optional[int] = None,
+    mean_work: float = 100.0,
+    mean_edge_mb: float = 10.0,
+    accelerable_fraction: float = 0.4,
+    gpu_speedup: float = 15.0,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate a layered DAG.
+
+    Args:
+        layers: Number of layers (depth).
+        width: Tasks per layer (default 8, or derived from ``size``).
+        size: Approximate total task count (width = size / layers).
+        fan_in: Parents per task drawn from the previous layer
+            (None = fully connected adjacent layers).
+        mean_work: Mean task work, Gop.
+        mean_edge_mb: Mean bytes per edge, MB.
+        accelerable_fraction: Fraction of tasks with GPU affinity.
+        gpu_speedup: GPU multiplier for accelerable tasks.
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if width is None:
+        width = 8 if size is None else max(1, round(size / layers))
+    if layers < 1 or width < 1:
+        raise ValueError("layers and width must be >= 1")
+    c = resolve_context(seed, ctx)
+    effective_fan_in = width if fan_in is None else min(fan_in, width)
+    wf = Workflow(f"layered-{layers}x{width}")
+
+    def task_name(layer: int, i: int) -> str:
+        return f"l{layer}_t{i}"
+
+    # Choose parents per task, then create files edge-by-edge as tasks are
+    # added in layer order (producers always precede consumers).
+    parents = {}
+    for layer in range(1, layers):
+        for i in range(width):
+            if effective_fan_in >= width:
+                parents[(layer, i)] = list(range(width))
+            else:
+                chosen = c.rng.choice(width, size=effective_fan_in, replace=False)
+                parents[(layer, i)] = sorted(int(x) for x in chosen)
+
+    children = {}
+    for (layer, i), ps in parents.items():
+        for p in ps:
+            children.setdefault((layer - 1, p), []).append(i)
+
+    for layer in range(layers):
+        for i in range(width):
+            inputs = []
+            if layer == 0:
+                f = wf.add_file(DataFile(
+                    f"in_{i}", c.size_mb(mean_edge_mb), initial=True))
+                inputs.append(f.name)
+            else:
+                for p in parents[(layer, i)]:
+                    inputs.append(f"e_{task_name(layer - 1, p)}_{i}")
+            outputs = []
+            for child in children.get((layer, i), []):
+                f = wf.add_file(DataFile(
+                    f"e_{task_name(layer, i)}_{child}", c.size_mb(mean_edge_mb)))
+                outputs.append(f.name)
+            if not outputs:
+                f = wf.add_file(DataFile(f"out_{task_name(layer, i)}", 0.001))
+                outputs.append(f.name)
+
+            affinity = {}
+            if c.rng.random() < accelerable_fraction:
+                affinity[DeviceClass.GPU] = gpu_speedup
+            wf.add_task(Task(
+                name=task_name(layer, i),
+                work=c.work(mean_work),
+                affinity=affinity,
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                category=f"layer{layer}",
+            ))
+    return wf

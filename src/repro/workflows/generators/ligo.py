@@ -1,0 +1,108 @@
+"""LIGO Inspiral — gravitational-wave matched-filter analysis.
+
+Shape: per-segment ``TmpltBank`` tasks feed heavy ``Inspiral`` matched
+filtering (the dominant, GPU-friendly stage); group-level ``Thinca``
+coincidence tests aggregate inspiral triggers; surviving triggers feed a
+second ``TrigBank`` → ``Inspiral2`` → ``Thinca2`` round.
+
+The two aggregate-then-fan-out waves make LIGO the classic stress test for
+lookahead: a greedy scheduler happily saturates wave one on slow devices
+and starves the synchronization points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def ligo_inspiral(
+    n_segments: Optional[int] = None,
+    group_size: int = 5,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate a LIGO Inspiral workflow.
+
+    Args:
+        n_segments: Number of detector-data segments (wave width).
+        group_size: Segments per Thinca coincidence group.
+        size: Approximate total task count (tasks ~= 4s + 2*ceil(s/g)).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if n_segments is None:
+        target = 50 if size is None else size
+        n_segments = max(group_size, round(target / (4 + 2.0 / group_size)))
+    if n_segments < 1:
+        raise ValueError("ligo needs at least one segment")
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"ligo-{n_segments}")
+
+    groups = [list(range(g, min(g + group_size, n_segments)))
+              for g in range(0, n_segments, group_size)]
+
+    seg_files = []
+    for s in range(n_segments):
+        seg_files.append(wf.add_file(DataFile(
+            f"segment_{s}.gwf", c.size_mb(250.0), initial=True)))
+
+    trig1 = {}
+    for s in range(n_segments):
+        bank = wf.add_file(DataFile(f"tmpltbank_{s}.xml", c.size_mb(2.0)))
+        wf.add_task(cpu_task(
+            f"TmpltBank_{s}", c.work(60.0),
+            inputs=(seg_files[s].name,), outputs=(bank.name,),
+            category="TmpltBank", memory_gb=2.0,
+        ))
+
+        trig = wf.add_file(DataFile(f"insp1_{s}.xml", c.size_mb(1.0)))
+        trig1[s] = trig
+        wf.add_task(accelerable_task(
+            f"Inspiral_{s}", c.work(800.0), gpu=22.0, fpga=10.0, manycore=4.0,
+            inputs=(seg_files[s].name, bank.name), outputs=(trig.name,),
+            category="Inspiral", memory_gb=6.0,
+        ))
+
+    coinc1 = []
+    for gi, grp in enumerate(groups):
+        out = wf.add_file(DataFile(f"thinca1_{gi}.xml", c.size_mb(0.5)))
+        coinc1.append((gi, grp, out))
+        wf.add_task(cpu_task(
+            f"Thinca_{gi}", c.work(20.0),
+            inputs=tuple(trig1[s].name for s in grp), outputs=(out.name,),
+            category="Thinca", memory_gb=2.0,
+        ))
+
+    trig2 = {}
+    for gi, grp, thinca_out in coinc1:
+        for s in grp:
+            tb = wf.add_file(DataFile(f"trigbank_{s}.xml", c.size_mb(0.5)))
+            wf.add_task(cpu_task(
+                f"TrigBank_{s}", c.work(10.0),
+                inputs=(thinca_out.name,), outputs=(tb.name,),
+                category="TrigBank",
+            ))
+
+            trig = wf.add_file(DataFile(f"insp2_{s}.xml", c.size_mb(1.0)))
+            trig2[s] = trig
+            wf.add_task(accelerable_task(
+                f"Inspiral2_{s}", c.work(500.0), gpu=22.0, fpga=10.0,
+                manycore=4.0,
+                inputs=(seg_files[s].name, tb.name), outputs=(trig.name,),
+                category="Inspiral2", memory_gb=6.0,
+            ))
+
+    for gi, grp in enumerate(groups):
+        out = wf.add_file(DataFile(f"thinca2_{gi}.xml", c.size_mb(0.5)))
+        wf.add_task(cpu_task(
+            f"Thinca2_{gi}", c.work(20.0),
+            inputs=tuple(trig2[s].name for s in grp), outputs=(out.name,),
+            category="Thinca2", memory_gb=2.0,
+        ))
+
+    return wf

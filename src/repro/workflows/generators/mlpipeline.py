@@ -1,0 +1,115 @@
+"""ML discovery pipeline — the intro-motivating "AI for science" workload.
+
+Shape: ingest → parallel shard preprocessing → GPU feature extraction →
+k-fold parallel training (GPU/TPU-dominant) → per-fold validation → model
+selection → final full-data training → evaluation/report.  Training tasks
+carry the strongest accelerator affinity in the library (matrix-multiply
+bound), making this the workload where CPU-only platforms lose by the
+largest factor (T2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def ml_pipeline(
+    n_shards: int = 8,
+    n_folds: int = 5,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate an ML training pipeline workflow.
+
+    Args:
+        n_shards: Parallel preprocessing width.
+        n_folds: Cross-validation folds (training width).
+        size: Approximate total task count
+            (tasks ~= 2*shards + 2*folds + 4; shards are derived from it).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if size is not None:
+        n_shards = max(1, round((size - 4 - 2 * n_folds) / 2))
+    if n_shards < 1 or n_folds < 1:
+        raise ValueError("ml_pipeline needs >=1 shard and >=1 fold")
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"mlpipeline-{n_shards}s{n_folds}f")
+
+    raw = wf.add_file(DataFile("dataset.raw", c.size_mb(2000.0, cv=0.1), initial=True))
+
+    shard_files = [
+        wf.add_file(DataFile(f"shard_{s}.parquet", c.size_mb(2000.0 / n_shards)))
+        for s in range(n_shards)
+    ]
+    wf.add_task(cpu_task(
+        "ingest", c.work(50.0),
+        inputs=(raw.name,), outputs=tuple(f.name for f in shard_files),
+        category="ingest", memory_gb=8.0,
+    ))
+
+    feature_files = []
+    for s in range(n_shards):
+        clean = wf.add_file(DataFile(f"clean_{s}.parquet", c.size_mb(1500.0 / n_shards)))
+        wf.add_task(cpu_task(
+            f"preprocess_{s}", c.work(80.0),
+            inputs=(shard_files[s].name,), outputs=(clean.name,),
+            category="preprocess", memory_gb=4.0,
+        ))
+
+        feats = wf.add_file(DataFile(f"features_{s}.npy", c.size_mb(500.0 / n_shards)))
+        feature_files.append(feats)
+        wf.add_task(accelerable_task(
+            f"featurize_{s}", c.work(300.0), gpu=18.0, tpu=15.0, manycore=3.0,
+            inputs=(clean.name,), outputs=(feats.name,),
+            category="featurize", memory_gb=6.0,
+        ))
+
+    model_files = []
+    metric_files = []
+    for f in range(n_folds):
+        model = wf.add_file(DataFile(f"model_fold{f}.pt", c.size_mb(120.0)))
+        model_files.append(model)
+        wf.add_task(accelerable_task(
+            f"train_fold{f}", c.work(2500.0), gpu=30.0, tpu=40.0, manycore=4.0,
+            inputs=tuple(x.name for x in feature_files), outputs=(model.name,),
+            category="train", memory_gb=16.0,
+        ))
+
+        metrics = wf.add_file(DataFile(f"metrics_fold{f}.json", 0.01))
+        metric_files.append(metrics)
+        wf.add_task(accelerable_task(
+            f"validate_fold{f}", c.work(150.0), gpu=20.0, tpu=25.0,
+            inputs=(model.name,) + tuple(x.name for x in feature_files),
+            outputs=(metrics.name,),
+            category="validate", memory_gb=8.0,
+        ))
+
+    best = wf.add_file(DataFile("best_config.json", 0.01))
+    wf.add_task(cpu_task(
+        "select_model", c.work(5.0),
+        inputs=tuple(m.name for m in metric_files), outputs=(best.name,),
+        category="select",
+    ))
+
+    final_model = wf.add_file(DataFile("model_final.pt", c.size_mb(120.0)))
+    wf.add_task(accelerable_task(
+        "train_final", c.work(4000.0), gpu=30.0, tpu=40.0, manycore=4.0,
+        inputs=(best.name,) + tuple(x.name for x in feature_files),
+        outputs=(final_model.name,),
+        category="train", memory_gb=16.0,
+    ))
+
+    report = wf.add_file(DataFile("report.html", 1.0))
+    wf.add_task(cpu_task(
+        "evaluate_report", c.work(30.0),
+        inputs=(final_model.name,), outputs=(report.name,),
+        category="report", memory_gb=4.0,
+    ))
+
+    return wf

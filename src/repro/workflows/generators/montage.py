@@ -1,0 +1,136 @@
+"""Montage — astronomical image mosaicking workflow.
+
+Shape (per the published characterization): a wide data-parallel
+reprojection stage (``mProject``, one task per input image), a pairwise
+background-difference stage (``mDiffFit`` over overlapping image pairs), a
+global fit (``mConcatFit`` → ``mBgModel``), a second data-parallel
+correction stage (``mBackground``), and a sequential tail
+(``mImgtbl`` → ``mAdd`` → ``mShrink`` → ``mJPEG``).
+
+Reprojection and background correction are pixel-parallel kernels, so they
+carry GPU affinity; the tail is I/O-bound glue and stays CPU-only, which
+caps achievable accelerator speedup (Amdahl behaviour the F3 sweep charts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, Task, accelerable_task, cpu_task
+
+
+def montage(
+    n_images: Optional[int] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+    overlap_degree: int = 2,
+) -> Workflow:
+    """Generate a Montage workflow.
+
+    Args:
+        n_images: Number of input sky images (drives all stage widths).
+        size: Alternatively, an approximate total task count; the generator
+            derives ``n_images`` from it (tasks ~= 3n + overlaps + 6).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+        overlap_degree: How many forward neighbours each image overlaps
+            (controls the mDiffFit width).
+    """
+    if n_images is None:
+        target = 50 if size is None else size
+        n_images = max(2, round((target - 6) / (2 + overlap_degree + 1)))
+    if n_images < 2:
+        raise ValueError("montage needs at least 2 input images")
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"montage-{n_images}")
+
+    raw = []
+    for i in range(n_images):
+        f = wf.add_file(DataFile(f"raw_{i}.fits", c.size_mb(4.0), initial=True))
+        raw.append(f)
+    hdr = wf.add_file(DataFile("region.hdr", 0.01, initial=True))
+
+    projected = []
+    for i in range(n_images):
+        out = wf.add_file(DataFile(f"proj_{i}.fits", c.size_mb(8.0)))
+        projected.append(out)
+        wf.add_task(accelerable_task(
+            f"mProject_{i}", c.work(120.0), gpu=12.0, manycore=3.0,
+            inputs=(raw[i].name, hdr.name), outputs=(out.name,),
+            category="mProject", memory_gb=2.0,
+        ))
+
+    # Overlapping pairs: each image with its next `overlap_degree` neighbours.
+    diffs = []
+    for i in range(n_images):
+        for d in range(1, overlap_degree + 1):
+            j = i + d
+            if j >= n_images:
+                continue
+            out = wf.add_file(DataFile(f"diff_{i}_{j}.fits", c.size_mb(1.0)))
+            diffs.append(out)
+            wf.add_task(cpu_task(
+                f"mDiffFit_{i}_{j}", c.work(12.0),
+                inputs=(projected[i].name, projected[j].name),
+                outputs=(out.name,),
+                category="mDiffFit", memory_gb=1.0,
+            ))
+
+    fits_tbl = wf.add_file(DataFile("fits.tbl", c.size_mb(0.5)))
+    wf.add_task(cpu_task(
+        "mConcatFit", c.work(8.0),
+        inputs=tuple(d.name for d in diffs), outputs=(fits_tbl.name,),
+        category="mConcatFit",
+    ))
+
+    corrections = wf.add_file(DataFile("corrections.tbl", c.size_mb(0.2)))
+    wf.add_task(cpu_task(
+        "mBgModel", c.work(30.0),
+        inputs=(fits_tbl.name,), outputs=(corrections.name,),
+        category="mBgModel",
+    ))
+
+    corrected = []
+    for i in range(n_images):
+        out = wf.add_file(DataFile(f"corr_{i}.fits", c.size_mb(8.0)))
+        corrected.append(out)
+        wf.add_task(accelerable_task(
+            f"mBackground_{i}", c.work(25.0), gpu=8.0, manycore=2.5,
+            inputs=(projected[i].name, corrections.name),
+            outputs=(out.name,),
+            category="mBackground", memory_gb=2.0,
+        ))
+
+    img_tbl = wf.add_file(DataFile("images.tbl", c.size_mb(0.3)))
+    wf.add_task(cpu_task(
+        "mImgtbl", c.work(5.0),
+        inputs=tuple(f.name for f in corrected), outputs=(img_tbl.name,),
+        category="mImgtbl",
+    ))
+
+    mosaic = wf.add_file(DataFile("mosaic.fits", c.size_mb(3.0 * n_images)))
+    wf.add_task(accelerable_task(
+        "mAdd", c.work(20.0 * n_images, cv=0.1), gpu=6.0,
+        inputs=tuple(f.name for f in corrected) + (img_tbl.name,),
+        outputs=(mosaic.name,),
+        category="mAdd", memory_gb=8.0,
+    ))
+
+    shrunk = wf.add_file(DataFile("mosaic_small.fits", c.size_mb(0.5 * n_images)))
+    wf.add_task(cpu_task(
+        "mShrink", c.work(15.0),
+        inputs=(mosaic.name,), outputs=(shrunk.name,),
+        category="mShrink", memory_gb=4.0,
+    ))
+
+    jpeg = wf.add_file(DataFile("mosaic.jpg", c.size_mb(2.0)))
+    wf.add_task(cpu_task(
+        "mJPEG", c.work(6.0),
+        inputs=(shrunk.name,), outputs=(jpeg.name,),
+        category="mJPEG",
+    ))
+
+    return wf

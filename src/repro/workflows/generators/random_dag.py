@@ -1,0 +1,117 @@
+"""Parametric random DAG generator.
+
+Used by the sweeps that need DAG-shape control rather than domain
+fidelity — most importantly the CCR sweep (F2), which requires workflows
+whose communication-to-computation ratio is a direct input, and the
+scheduler-overhead scaling study (T5).
+
+Tasks are placed on random depth ranks and edges only point to deeper
+ranks, guaranteeing acyclicity by construction; every non-entry task is
+given at least one parent so the graph stays connected front-to-back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.platform.devices import DeviceClass
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, Task
+
+
+def random_dag(
+    n_tasks: Optional[int] = None,
+    size: Optional[int] = None,
+    ccr: float = 1.0,
+    mean_work: float = 100.0,
+    edge_density: float = 2.0,
+    accelerable_fraction: float = 0.4,
+    gpu_speedup: float = 15.0,
+    max_depth: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+    reference_speed: float = 50.0,
+    reference_bandwidth: float = 1250.0,
+) -> Workflow:
+    """Generate a random DAG with a target CCR.
+
+    Args:
+        n_tasks: Number of tasks.
+        size: Alias for ``n_tasks`` (uniform generator interface).
+        ccr: Target communication-to-computation ratio (see
+            :meth:`Workflow.ccr` for the definition; the generated value is
+            within sampling noise of this target).
+        mean_work: Mean task work, Gop.
+        edge_density: Mean number of parents per non-entry task.
+        accelerable_fraction: Fraction of tasks with GPU affinity.
+        gpu_speedup: GPU multiplier for accelerable tasks.
+        max_depth: Maximum DAG depth; default ``~sqrt(n_tasks)``.
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+        reference_speed: Gop/s used to convert work to time for the CCR.
+        reference_bandwidth: MB/s used to convert bytes to time for the CCR.
+    """
+    if n_tasks is None:
+        n_tasks = 50 if size is None else size
+    if n_tasks < 1:
+        raise ValueError("need at least one task")
+    if ccr < 0:
+        raise ValueError("ccr must be non-negative")
+    c = resolve_context(seed, ctx)
+    depth = max_depth or max(2, int(round(n_tasks ** 0.5)))
+    wf = Workflow(f"random-{n_tasks}-ccr{ccr:g}")
+
+    # Mean bytes per edge implied by the CCR target.
+    mean_comp_time = mean_work / reference_speed
+    mean_edge_mb = ccr * mean_comp_time * reference_bandwidth
+
+    ranks = sorted(int(c.rng.integers(0, depth)) for _ in range(n_tasks))
+    names = [f"t{i:04d}" for i in range(n_tasks)]
+
+    # Draw parents first so each task's input list is known at creation.
+    parents = {i: [] for i in range(n_tasks)}
+    for i in range(n_tasks):
+        shallower = [j for j in range(n_tasks) if ranks[j] < ranks[i]]
+        if not shallower:
+            continue
+        want = max(1, int(c.rng.poisson(edge_density)))
+        chosen = c.rng.choice(
+            len(shallower), size=min(want, len(shallower)), replace=False
+        )
+        parents[i] = sorted(shallower[k] for k in chosen)
+
+    # One produced file per edge; entry tasks read one initial file each.
+    for i in range(n_tasks):
+        inputs = []
+        if not parents[i]:
+            f = wf.add_file(DataFile(
+                f"in_{names[i]}", c.size_mb(max(mean_edge_mb, 0.001)),
+                initial=True))
+            inputs.append(f.name)
+        else:
+            for j in parents[i]:
+                inputs.append(f"edge_{names[j]}_{names[i]}")
+        outputs = []
+        children = [k for k in range(n_tasks) if i in parents[k]]
+        for k in children:
+            f = wf.add_file(DataFile(
+                f"edge_{names[i]}_{names[k]}",
+                c.size_mb(max(mean_edge_mb, 0.001)) if ccr > 0 else 0.0))
+            outputs.append(f.name)
+        if not children:
+            f = wf.add_file(DataFile(f"out_{names[i]}", 0.001))
+            outputs.append(f.name)
+
+        affinity = {}
+        if c.rng.random() < accelerable_fraction:
+            affinity[DeviceClass.GPU] = gpu_speedup
+        wf.add_task(Task(
+            name=names[i],
+            work=c.work(mean_work),
+            affinity=affinity,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            category="random",
+        ))
+    return wf

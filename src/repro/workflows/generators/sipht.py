@@ -1,0 +1,131 @@
+"""SIPHT — sRNA identification protocol (bioinformatics annotation).
+
+Shape: a wide ``Patser`` scan stage concatenated by ``Patser_concate``; in
+parallel, a set of heterogeneous single tasks (``Transterm``,
+``Findterm``, ``RNAMotif``, ``Blast``) all feeding the central ``SRNA``
+assembly; SRNA fans out to several annotation BLAST variants
+(``BlastQRNA``, ``BlastCandidate``, ``BlastParalogues``, ``FFN_parse``)
+that join in ``SRNAAnnotate``.
+
+SIPHT is irregular — one heavy ``Findterm`` dominates its level — so it
+punishes schedulers without critical-path awareness.  BLAST-family stages
+get FPGA affinity (classic Smith-Waterman accelerators).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def sipht(
+    n_patser: Optional[int] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate a SIPHT workflow.
+
+    Args:
+        n_patser: Width of the Patser scan stage.
+        size: Approximate total task count (tasks ~= p + 10).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if n_patser is None:
+        target = 40 if size is None else size
+        n_patser = max(1, target - 10)
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"sipht-{n_patser}")
+
+    genome = wf.add_file(DataFile("genome.fna", c.size_mb(12.0), initial=True))
+    igr = wf.add_file(DataFile("intergenic.fa", c.size_mb(3.0), initial=True))
+    matrices = wf.add_file(DataFile("tfbs_matrices.dat", 1.0, initial=True))
+
+    patser_outs = []
+    for p in range(n_patser):
+        out = wf.add_file(DataFile(f"patser_{p}.out", c.size_mb(0.3)))
+        patser_outs.append(out)
+        wf.add_task(cpu_task(
+            f"Patser_{p}", c.work(10.0),
+            inputs=(igr.name, matrices.name), outputs=(out.name,),
+            category="Patser",
+        ))
+
+    patser_concat = wf.add_file(DataFile("patser_all.out", c.size_mb(0.3 * n_patser)))
+    wf.add_task(cpu_task(
+        "Patser_concate", c.work(3.0),
+        inputs=tuple(f.name for f in patser_outs), outputs=(patser_concat.name,),
+        category="Patser_concate",
+    ))
+
+    transterm = wf.add_file(DataFile("transterm.out", c.size_mb(1.0)))
+    wf.add_task(cpu_task(
+        "Transterm", c.work(220.0),
+        inputs=(genome.name,), outputs=(transterm.name,),
+        category="Transterm", memory_gb=4.0,
+    ))
+
+    findterm = wf.add_file(DataFile("findterm.out", c.size_mb(2.0)))
+    wf.add_task(accelerable_task(
+        "Findterm", c.work(1200.0), gpu=5.0, fpga=22.0, manycore=3.0,
+        inputs=(genome.name,), outputs=(findterm.name,),
+        category="Findterm", memory_gb=8.0,
+    ))
+
+    rnamotif = wf.add_file(DataFile("rnamotif.out", c.size_mb(0.5)))
+    wf.add_task(cpu_task(
+        "RNAMotif", c.work(120.0),
+        inputs=(genome.name,), outputs=(rnamotif.name,),
+        category="RNAMotif", memory_gb=2.0,
+    ))
+
+    blast_out = wf.add_file(DataFile("blast.out", c.size_mb(2.0)))
+    wf.add_task(accelerable_task(
+        "Blast", c.work(300.0), fpga=22.0, gpu=4.0,
+        inputs=(genome.name, igr.name), outputs=(blast_out.name,),
+        category="Blast", memory_gb=4.0,
+    ))
+
+    srna = wf.add_file(DataFile("srna.out", c.size_mb(1.5)))
+    wf.add_task(cpu_task(
+        "SRNA", c.work(40.0),
+        inputs=(patser_concat.name, transterm.name, findterm.name,
+                rnamotif.name, blast_out.name),
+        outputs=(srna.name,),
+        category="SRNA", memory_gb=2.0,
+    ))
+
+    annotate_inputs = []
+    for stage, work, fpga_mult in (
+        ("FFN_parse", 25.0, 0.0),
+        ("BlastQRNA", 180.0, 20.0),
+        ("BlastCandidate", 90.0, 20.0),
+        ("BlastParalogues", 90.0, 20.0),
+    ):
+        out = wf.add_file(DataFile(f"{stage.lower()}.out", c.size_mb(0.8)))
+        annotate_inputs.append(out)
+        if fpga_mult > 0:
+            wf.add_task(accelerable_task(
+                stage, c.work(work), fpga=fpga_mult, gpu=3.5,
+                inputs=(srna.name, genome.name), outputs=(out.name,),
+                category=stage, memory_gb=4.0,
+            ))
+        else:
+            wf.add_task(cpu_task(
+                stage, c.work(work),
+                inputs=(srna.name,), outputs=(out.name,),
+                category=stage,
+            ))
+
+    final = wf.add_file(DataFile("srna_annotated.out", c.size_mb(2.0)))
+    wf.add_task(cpu_task(
+        "SRNAAnnotate", c.work(20.0),
+        inputs=tuple(f.name for f in annotate_inputs), outputs=(final.name,),
+        category="SRNAAnnotate",
+    ))
+
+    return wf

@@ -1,0 +1,112 @@
+"""SoyKB — resequencing/variant-calling genomics workflow.
+
+The sixth Pegasus-community suite: per-sample read alignment and variant
+calling followed by cohort-wide joint genotyping.  Shape: per sample, an
+``alignment`` (heavy, GPU/FPGA-accelerable) feeds ``sortSam`` →
+``dedup`` → ``realign`` → ``haplotypeCaller`` (heavy); all per-sample
+GVCFs join in ``combineGVCF`` → ``genotypeGVCF`` → ``filterVariants``.
+
+Included as an out-of-evaluation extra workload: its per-sample chains
+are deeper than CyberShake's and its join is wider than Epigenomics',
+filling a gap in the suite's shape coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workflows.generators.base import GenContext, resolve_context
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, accelerable_task, cpu_task
+
+
+def soykb(
+    n_samples: Optional[int] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+    ctx: Optional[GenContext] = None,
+) -> Workflow:
+    """Generate a SoyKB workflow.
+
+    Args:
+        n_samples: Number of resequenced samples (chain count).
+        size: Approximate total task count (tasks ~= 5*samples + 3).
+        seed: Determinism seed (ignored when ``ctx`` is given).
+        ctx: Optional shared sampling context.
+    """
+    if n_samples is None:
+        target = 40 if size is None else size
+        n_samples = max(1, round((target - 3) / 5))
+    c = resolve_context(seed, ctx)
+    wf = Workflow(f"soykb-{n_samples}")
+
+    ref = wf.add_file(DataFile("reference.fa", c.size_mb(1000.0, cv=0.05),
+                               initial=True))
+
+    gvcfs = []
+    for s in range(n_samples):
+        reads = wf.add_file(DataFile(f"sample{s}.fastq", c.size_mb(600.0),
+                                     initial=True))
+
+        bam = wf.add_file(DataFile(f"s{s}_aligned.bam", c.size_mb(300.0)))
+        wf.add_task(accelerable_task(
+            f"alignment_{s}", c.work(700.0), gpu=14.0, fpga=18.0,
+            manycore=3.0,
+            inputs=(reads.name, ref.name), outputs=(bam.name,),
+            category="alignment", memory_gb=12.0,
+        ))
+
+        sorted_bam = wf.add_file(DataFile(f"s{s}_sorted.bam", c.size_mb(300.0)))
+        wf.add_task(cpu_task(
+            f"sortSam_{s}", c.work(60.0),
+            inputs=(bam.name,), outputs=(sorted_bam.name,),
+            category="sortSam", memory_gb=8.0,
+        ))
+
+        dedup_bam = wf.add_file(DataFile(f"s{s}_dedup.bam", c.size_mb(250.0)))
+        wf.add_task(cpu_task(
+            f"dedup_{s}", c.work(45.0),
+            inputs=(sorted_bam.name,), outputs=(dedup_bam.name,),
+            category="dedup", memory_gb=8.0,
+        ))
+
+        realigned = wf.add_file(DataFile(f"s{s}_realigned.bam",
+                                         c.size_mb(250.0)))
+        wf.add_task(cpu_task(
+            f"realign_{s}", c.work(150.0),
+            inputs=(dedup_bam.name, ref.name), outputs=(realigned.name,),
+            category="realign", memory_gb=8.0,
+        ))
+
+        gvcf = wf.add_file(DataFile(f"s{s}.g.vcf", c.size_mb(40.0)))
+        gvcfs.append(gvcf)
+        wf.add_task(accelerable_task(
+            f"haplotypeCaller_{s}", c.work(500.0), gpu=10.0, manycore=3.0,
+            inputs=(realigned.name, ref.name), outputs=(gvcf.name,),
+            category="haplotypeCaller", memory_gb=12.0,
+        ))
+
+    combined = wf.add_file(DataFile("cohort.g.vcf",
+                                    c.size_mb(30.0 * n_samples)))
+    wf.add_task(cpu_task(
+        "combineGVCF", c.work(20.0 * n_samples, cv=0.1),
+        inputs=tuple(g.name for g in gvcfs), outputs=(combined.name,),
+        category="combineGVCF", memory_gb=16.0,
+    ))
+
+    genotyped = wf.add_file(DataFile("cohort.vcf", c.size_mb(20.0 * n_samples)))
+    wf.add_task(cpu_task(
+        "genotypeGVCF", c.work(30.0 * n_samples, cv=0.1),
+        inputs=(combined.name, ref.name), outputs=(genotyped.name,),
+        category="genotypeGVCF", memory_gb=16.0,
+    ))
+
+    filtered = wf.add_file(DataFile("cohort.filtered.vcf",
+                                    c.size_mb(15.0 * n_samples)))
+    wf.add_task(cpu_task(
+        "filterVariants", c.work(10.0 * n_samples, cv=0.1),
+        inputs=(genotyped.name,), outputs=(filtered.name,),
+        category="filterVariants", memory_gb=8.0,
+    ))
+
+    return wf

@@ -1,0 +1,169 @@
+"""Tasks and data files — the vertices and payloads of a workflow DAG.
+
+A :class:`Task` describes one unit of computation: how much abstract work it
+performs, which device classes can execute it (and how well), and which
+named :class:`DataFile` objects it consumes and produces.  Data dependencies
+between tasks are *derived* from file production/consumption by the
+:class:`~repro.workflows.graph.Workflow` container; tasks themselves stay
+ignorant of graph structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.platform.devices import DeviceClass
+
+
+@dataclass(frozen=True)
+class DataFile:
+    """A logical data product.
+
+    Attributes:
+        name: Unique name within a workflow (``"proj_017.fits"``).
+        size_mb: Size in MB; drives all transfer costs.
+        initial: True for workflow inputs that exist before execution starts
+            (staged at the cluster's storage site rather than produced by a
+            task).
+        location: For initial files only — the node where the file is
+            *born* (a sensor capture on its edge node, a dataset already on
+            a burst buffer).  None means the shared storage site.  The node
+            name is resolved against the cluster at run time; unknown names
+            fail loudly there.
+    """
+
+    name: str
+    size_mb: float
+    initial: bool = False
+    location: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"file {self.name!r} has negative size")
+        if self.location is not None and not self.initial:
+            raise ValueError(
+                f"file {self.name!r}: only initial files may carry a location"
+            )
+
+
+#: Affinity mapping type: device class -> speed multiplier (0 = ineligible).
+AffinityMap = Mapping[DeviceClass, float]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of a discovery workflow.
+
+    Attributes:
+        name: Unique name within a workflow.
+        work: Computational size in Gop (giga-operations).
+        affinity: Per-device-class speed multipliers.  A CPU entry defaults
+            to 1.0 when absent; any other class defaults to 0.0 (ineligible).
+            ``affinity={DeviceClass.GPU: 20}`` therefore reads "runs on CPU
+            at par, 20x faster per Gop/s on GPU".
+        inputs: Names of files consumed.
+        outputs: Names of files produced (must be unique producers).
+        category: Free-form stage label ("mProject", "seismogram", ...),
+            used for per-stage reporting and fault models.
+        memory_gb: Working-set size; devices with less memory are
+            ineligible.
+        priority_hint: Optional user hint (larger = more urgent) that some
+            schedulers honour for tie-breaking.
+    """
+
+    name: str
+    work: float
+    affinity: Dict[DeviceClass, float] = field(default_factory=dict)
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    category: str = "generic"
+    memory_gb: float = 1.0
+    priority_hint: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ValueError(f"task {self.name!r} has negative work")
+        if self.memory_gb < 0:
+            raise ValueError(f"task {self.name!r} has negative memory need")
+        for cls, mult in self.affinity.items():
+            if mult < 0:
+                raise ValueError(
+                    f"task {self.name!r}: negative affinity for {cls}"
+                )
+        # Normalize sequences to tuples for hashability.
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+
+    def affinity_for(self, device_class: DeviceClass) -> float:
+        """Speed multiplier on the given class (0 = ineligible).
+
+        CPUs default to 1.0 so every task is runnable somewhere unless a
+        workflow explicitly opts a task out of CPUs with ``{CPU: 0}``.
+        """
+        if device_class in self.affinity:
+            return self.affinity[device_class]
+        return 1.0 if device_class == DeviceClass.CPU else 0.0
+
+    def eligible_classes(self) -> List[DeviceClass]:
+        """Device classes with a positive affinity."""
+        return [c for c in DeviceClass if self.affinity_for(c) > 0.0]
+
+    @property
+    def accelerable(self) -> bool:
+        """True when some non-CPU class offers a strictly better multiplier."""
+        cpu = self.affinity_for(DeviceClass.CPU)
+        return any(
+            self.affinity_for(c) > cpu
+            for c in DeviceClass
+            if c != DeviceClass.CPU
+        )
+
+    def with_work(self, work: float) -> "Task":
+        """A copy with different work (generators use this for scaling)."""
+        return Task(
+            name=self.name,
+            work=work,
+            affinity=dict(self.affinity),
+            inputs=self.inputs,
+            outputs=self.outputs,
+            category=self.category,
+            memory_gb=self.memory_gb,
+            priority_hint=self.priority_hint,
+        )
+
+
+def cpu_task(name: str, work: float, **kwargs) -> Task:
+    """A CPU-only task (the default affinity)."""
+    return Task(name=name, work=work, **kwargs)
+
+
+def gpu_task(name: str, work: float, gpu_speedup: float = 15.0, **kwargs) -> Task:
+    """A task that runs on CPU at par and ``gpu_speedup``x faster on GPU."""
+    affinity = kwargs.pop("affinity", {})
+    affinity = {DeviceClass.GPU: gpu_speedup, **affinity}
+    return Task(name=name, work=work, affinity=affinity, **kwargs)
+
+
+def accelerable_task(
+    name: str,
+    work: float,
+    gpu: float = 0.0,
+    fpga: float = 0.0,
+    tpu: float = 0.0,
+    dsp: float = 0.0,
+    manycore: float = 0.0,
+    **kwargs,
+) -> Task:
+    """Convenience constructor with one keyword per accelerator class."""
+    affinity: Dict[DeviceClass, float] = {}
+    for cls, mult in (
+        (DeviceClass.GPU, gpu),
+        (DeviceClass.FPGA, fpga),
+        (DeviceClass.TPU, tpu),
+        (DeviceClass.DSP, dsp),
+        (DeviceClass.MANYCORE, manycore),
+    ):
+        if mult > 0:
+            affinity[cls] = mult
+    return Task(name=name, work=work, affinity=affinity, **kwargs)

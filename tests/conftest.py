@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core  # noqa: F401  (registers hdws in the scheduler registry)
+from repro.platform import presets
+from repro.schedulers.base import SchedulingContext
+from repro.workflows.generators import montage
+
+
+@pytest.fixture
+def hybrid_cluster():
+    """A 2-node CPU+GPU cluster, small enough for fast tests."""
+    return presets.hybrid_cluster(nodes=2, cores_per_node=2, gpus_per_node=1)
+
+
+@pytest.fixture
+def cpu_cluster():
+    """A 2-node CPU-only cluster."""
+    return presets.cpu_cluster(nodes=2, cores_per_node=2)
+
+
+@pytest.fixture
+def workstation():
+    """The single-node 4 CPU + 1 GPU workstation."""
+    return presets.single_node_workstation()
+
+
+@pytest.fixture
+def small_montage():
+    """A small Montage workflow (deterministic)."""
+    return montage(n_images=5, seed=7)
+
+
+@pytest.fixture
+def montage_context(small_montage, hybrid_cluster):
+    """A SchedulingContext over the small montage + hybrid cluster."""
+    return SchedulingContext(small_montage, hybrid_cluster)

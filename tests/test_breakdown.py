@@ -1,0 +1,85 @@
+"""Tests for post-run breakdowns."""
+
+import pytest
+
+from repro import run_workflow
+from repro.analysis.breakdown import (
+    by_category,
+    by_device_class,
+    render_breakdown,
+    transfer_summary,
+)
+from repro.platform import presets
+from repro.workflows.generators import montage
+
+
+@pytest.fixture(scope="module")
+def run():
+    cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+    result = run_workflow(montage(n_images=6, seed=2), cluster, seed=1)
+    return cluster, result
+
+
+class TestByCategory:
+    def test_all_categories_present(self, run):
+        _cluster, result = run
+        cats = by_category(result.execution.trace)
+        assert "mProject" in cats
+        assert cats["mProject"].tasks == 6
+        assert cats["mProject"].busy_seconds > 0
+        assert cats["mProject"].energy_j > 0
+
+    def test_mean_seconds(self, run):
+        _cluster, result = run
+        cats = by_category(result.execution.trace)
+        c = cats["mProject"]
+        assert c.mean_seconds == pytest.approx(c.busy_seconds / c.tasks)
+
+    def test_total_matches_task_count(self, run):
+        _cluster, result = run
+        cats = by_category(result.execution.trace)
+        assert sum(c.tasks for c in cats.values()) == len(
+            result.execution.records
+        )
+
+
+class TestByDeviceClass:
+    def test_classes_cover_all_finishes(self, run):
+        cluster, result = run
+        classes = by_device_class(cluster, result.execution.trace)
+        assert sum(int(v["tasks"]) for v in classes.values()) == len(
+            result.execution.records
+        )
+        assert "cpu" in classes
+
+    def test_gpu_ran_the_accelerable_stage(self, run):
+        cluster, result = run
+        classes = by_device_class(cluster, result.execution.trace)
+        assert classes.get("gpu", {}).get("tasks", 0) > 0
+
+
+class TestTransfers:
+    def test_summary_nonnegative_and_consistent(self, run):
+        _cluster, result = run
+        moved = transfer_summary(result.execution.trace)
+        assert moved["total_mb"] == pytest.approx(
+            moved["peer_mb"] + moved["storage_mb"]
+        )
+        assert moved["storage_mb"] > 0  # raw images come from storage
+
+
+class TestRender:
+    def test_render_contains_all_sections(self, run):
+        cluster, result = run
+        text = render_breakdown(
+            cluster, result.execution.trace, result.makespan
+        )
+        assert "busy time by task category" in text
+        assert "work by device class" in text
+        assert "utilization by device class" in text
+        assert "data movement" in text
+
+    def test_render_without_makespan_skips_utilization(self, run):
+        cluster, result = run
+        text = render_breakdown(cluster, result.execution.trace)
+        assert "utilization" not in text

@@ -1,0 +1,101 @@
+"""Tests for carbon-aware accounting and temporal shifting."""
+
+import pytest
+
+from repro.energy.accounting import EnergyReport, DeviceEnergy
+from repro.energy.carbon import (
+    CarbonIntensityTrace,
+    best_start_hour,
+    carbon_emissions,
+    shifting_savings,
+)
+
+
+def report(joules: float = 3.6e6, makespan: float = 3600.0) -> EnergyReport:
+    r = EnergyReport(makespan=makespan)
+    r.devices["d"] = DeviceEnergy("d", makespan, 0.0, joules, 0.0)
+    return r
+
+
+class TestTrace:
+    def test_flat_trace_constant(self):
+        t = CarbonIntensityTrace.flat(400.0)
+        assert t.intensity_at(0.0) == 400.0
+        assert t.intensity_at(13.7) == 400.0
+        assert t.intensity_at(30.0) == 400.0  # wraps
+
+    def test_solar_dips_at_noon(self):
+        t = CarbonIntensityTrace.synthetic_solar(noon=13.0)
+        assert t.intensity_at(13.0) < t.intensity_at(3.0)
+        assert t.intensity_at(13.0) < t.intensity_at(22.0)
+
+    def test_interpolation_between_samples(self):
+        t = CarbonIntensityTrace(((0.0, 100.0), (10.0, 200.0), (24.0, 100.0)))
+        assert t.intensity_at(5.0) == pytest.approx(150.0)
+
+    def test_invalid_traces_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace(((0.0, 100.0),))
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace(((1.0, 100.0), (2.0, 100.0)))
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace(((0.0, 100.0), (2.0, -1.0)))
+        with pytest.raises(ValueError):
+            CarbonIntensityTrace(((0.0, 1.0), (5.0, 2.0), (3.0, 1.0)))
+
+    def test_mean_over_zero_duration(self):
+        t = CarbonIntensityTrace.flat(300.0)
+        assert t.mean_over(5.0, 0.0) == 300.0
+
+
+class TestEmissions:
+    def test_one_kwh_on_flat_grid(self):
+        # 3.6e6 J = 1 kWh at 400 g/kWh -> 400 g
+        g = carbon_emissions(report(), CarbonIntensityTrace.flat(400.0))
+        assert g == pytest.approx(400.0)
+
+    def test_emissions_depend_on_start_hour(self):
+        t = CarbonIntensityTrace.synthetic_solar()
+        night = carbon_emissions(report(), t, start_hour=2.0)
+        noon = carbon_emissions(report(), t, start_hour=12.5)
+        assert noon < night
+
+    def test_best_start_hour_near_noon(self):
+        t = CarbonIntensityTrace.synthetic_solar(noon=13.0)
+        hour, _g = best_start_hour(report(), t)
+        assert 10.0 <= hour <= 14.0
+
+    def test_best_start_flat_grid_indifferent(self):
+        t = CarbonIntensityTrace.flat(300.0)
+        hour, g = best_start_hour(report(), t)
+        assert g == pytest.approx(carbon_emissions(report(), t, 17.0))
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            best_start_hour(report(), CarbonIntensityTrace.flat(), 0.0)
+
+    def test_shifting_savings_summary(self):
+        t = CarbonIntensityTrace.synthetic_solar()
+        s = shifting_savings(report(), t)
+        assert 0.0 < s["savings_fraction"] < 1.0
+        assert s["best_gco2"] <= s["worst_gco2"]
+
+    def test_long_runs_average_out(self):
+        """A 24 h run sees the whole curve; shifting buys almost nothing."""
+        t = CarbonIntensityTrace.synthetic_solar()
+        s = shifting_savings(report(makespan=24 * 3600.0), t)
+        assert s["savings_fraction"] < 0.05
+
+    def test_end_to_end_with_real_run(self):
+        from repro import run_workflow
+        from repro.platform import presets
+        from repro.workflows.generators import montage
+
+        result = run_workflow(
+            montage(n_images=5, seed=1),
+            presets.hybrid_cluster(nodes=2, cores_per_node=2),
+            seed=1,
+        )
+        t = CarbonIntensityTrace.synthetic_solar()
+        g = carbon_emissions(result.energy, t, start_hour=9.0)
+        assert g > 0

@@ -1,0 +1,57 @@
+"""Broad CLI coverage: every workflow and mode through `repro-flow run`."""
+
+import pytest
+
+from repro.cli import main
+from repro.workflows.generators import ALL_GENERATORS
+
+
+@pytest.mark.parametrize("workflow", sorted(ALL_GENERATORS))
+def test_run_every_workflow(workflow, capsys):
+    rc = main([
+        "run", "--workflow", workflow, "--size", "15",
+        "--cluster", "workstation", "--noise", "0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "success     : 1.000" in out
+
+
+@pytest.mark.parametrize("mode", ["static", "dynamic", "adaptive"])
+def test_run_every_mode(mode, capsys):
+    rc = main([
+        "run", "--workflow", "montage", "--size", "15",
+        "--cluster", "workstation", "--mode", mode,
+    ])
+    assert rc == 0
+
+
+@pytest.mark.parametrize("cluster", ["cpu", "hybrid", "accel", "unrelated",
+                                     "workstation"])
+def test_run_every_fixed_size_cluster(cluster, capsys):
+    rc = main([
+        "run", "--workflow", "blast", "--size", "12", "--cluster", cluster,
+    ])
+    assert rc == 0
+
+
+def test_run_breakdown_sections(capsys):
+    rc = main([
+        "run", "--workflow", "cybershake", "--size", "15",
+        "--cluster", "workstation", "--breakdown",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "busy time by task category" in out
+    assert "data movement" in out
+
+
+@pytest.mark.parametrize("scheduler", ["hdws", "heft", "peft", "minmin",
+                                       "annealing", "lookahead-heft",
+                                       "energy-heft"])
+def test_run_representative_schedulers(scheduler, capsys):
+    rc = main([
+        "run", "--workflow", "sipht", "--size", "12",
+        "--cluster", "workstation", "--scheduler", scheduler,
+    ])
+    assert rc == 0

@@ -1,0 +1,126 @@
+"""Cross-cutting behaviours: DVFS end-to-end, switched fabrics, traces."""
+
+import pytest
+
+from repro import run_workflow
+from repro.energy.governor import DeepSleepGovernor
+from repro.platform import presets
+from repro.platform.cluster import Cluster
+from repro.platform.devices import catalogue
+from repro.platform.interconnect import Interconnect
+from repro.platform.nodes import NodeSpec
+from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
+from repro.workflows.generators import cybershake, montage
+
+
+class TestDvfsEndToEnd:
+    def test_dvfs_choices_flow_into_measured_energy(self):
+        """The executor must honour the planner's DVFS states: a green
+        alpha yields measurably lower busy energy than alpha=1 on the same
+        placements' platform."""
+        wf = montage(n_images=8, seed=3)
+        gov = DeepSleepGovernor(threshold_s=0.5)
+
+        def run(alpha):
+            cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2,
+                                             dvfs=True)
+            return run_workflow(
+                wf, cluster, scheduler=EnergyAwareHeftScheduler(alpha=alpha),
+                seed=1, governor=gov,
+            )
+
+        fast = run(1.0)
+        green = run(0.05)
+        assert green.energy.busy_joules < fast.energy.busy_joules
+        assert green.makespan >= fast.makespan
+
+    def test_dvfs_slows_execution_observably(self):
+        wf = montage(n_images=8, seed=3)
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2, dvfs=True)
+        green = run_workflow(
+            wf, cluster, scheduler=EnergyAwareHeftScheduler(alpha=0.0),
+            seed=1,
+        )
+        assert green.plan.dvfs_choice  # some task was slowed
+        # The executed duration of a slowed task exceeds its full-speed
+        # estimate.
+        name = next(iter(green.plan.dvfs_choice))
+        rec = green.execution.records[name]
+        task = wf.tasks[name]
+        device = cluster.device(rec.device)
+        est = cluster.execution_model.estimate(task, device.spec)
+        assert rec.finish - rec.start > est * 1.05
+
+
+class TestSwitchedFabric:
+    def test_core_backplane_contention_slows_runs(self):
+        cat = catalogue()
+        names = [f"n{i}" for i in range(4)]
+        specs = [NodeSpec.of(n, [cat["cpu-std"], cat["gpu-std"]])
+                 for n in names]
+        wf = cybershake(n_variations=8, seed=1)
+
+        fast_net = Cluster("mesh", specs)
+        fast = run_workflow(wf, fast_net, seed=1)
+
+        # A severely undersized backplane must cost wall-clock.
+        slow_specs = [NodeSpec.of(n, [cat["cpu-std"], cat["gpu-std"]])
+                      for n in names]
+        slow_net = Cluster(
+            "switched", slow_specs,
+            interconnect=Interconnect.switched(
+                names, edge_bandwidth=1250.0, core_bandwidth=50.0
+            ),
+            switched=True,
+        )
+        slow = run_workflow(wf, slow_net, seed=1)
+        assert slow.success
+        assert slow.makespan >= fast.makespan
+
+    def test_core_link_carries_traffic(self):
+        cat = catalogue()
+        names = ["a", "b"]
+        specs = [NodeSpec.of(n, [cat["cpu-std"]]) for n in names]
+        cluster = Cluster(
+            "sw", specs,
+            interconnect=Interconnect.switched(names),
+            switched=True,
+        )
+        cluster.reserve_transfer("a", "b", 0.0, 500.0)
+        core = cluster.interconnect.core_link()
+        assert core.bytes_carried_mb == 500.0
+
+
+class TestTraceCompleteness:
+    def test_every_task_start_has_terminal_record(self):
+        from repro.faults.models import FaultModel
+        from repro.faults.recovery import RecoveryPolicy
+
+        wf = cybershake(n_variations=6, seed=1).scaled(2.0)
+        cluster = presets.hybrid_cluster(nodes=2)
+        result = run_workflow(
+            wf, cluster, seed=4,
+            fault_model=FaultModel(task_fault_rate=0.2),
+            recovery=RecoveryPolicy.replicated(2, retries=20),
+        )
+        assert result.success
+        trace = result.execution.trace
+        starts = len(trace.of_kind("task.start"))
+        terminals = (
+            len(trace.of_kind("task.finish"))
+            + len(trace.of_kind("fault.task"))
+            + len(trace.of_kind("task.preempt"))
+        )
+        # Every started execution ends in exactly one of the three ways.
+        assert starts <= terminals
+        # Preempted clones may never have started executing (still
+        # staging), hence <= rather than ==.
+
+    def test_stage_records_precede_starts(self):
+        wf = montage(n_images=5, seed=1)
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        result = run_workflow(wf, cluster, seed=1)
+        trace = result.execution.trace
+        first_stage = trace.first("task.stage")
+        first_start = trace.first("task.start")
+        assert first_stage.time <= first_start.time

@@ -1,0 +1,89 @@
+"""Guard rails keeping the documentation in sync with the code.
+
+These tests fail when someone adds a scheduler, generator, preset or
+experiment without updating the user-facing inventories — the cheapest
+way to keep README/DESIGN trustworthy.
+"""
+
+import os
+import re
+
+import pytest
+
+import repro.core  # noqa: F401  (registry hook)
+from repro.experiments import REGISTRY as EXPERIMENTS
+from repro.platform import presets
+from repro.schedulers import REGISTRY as SCHEDULERS
+from repro.workflows.generators import ALL_GENERATORS
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(name: str) -> str:
+    with open(os.path.join(REPO, name), encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestDesignDoc:
+    def test_mismatch_notice_present(self):
+        text = read("DESIGN.md")
+        assert "mismatch" in text.lower()
+        assert "survey" in text.lower()
+
+    def test_every_experiment_listed(self):
+        text = read("DESIGN.md")
+        for exp_id in EXPERIMENTS:
+            assert re.search(exp_id.upper(), text), exp_id
+
+    def test_bench_files_exist_for_every_experiment(self):
+        bench_dir = os.path.join(REPO, "benchmarks")
+        files = os.listdir(bench_dir)
+        for exp_id in EXPERIMENTS:
+            assert any(exp_id in f for f in files), exp_id
+
+
+class TestReadme:
+    def test_quickstart_modules_exist(self):
+        text = read("README.md")
+        assert "run_workflow" in text
+        assert "presets" in text
+
+    def test_examples_table_matches_directory(self):
+        text = read("README.md")
+        examples = [
+            f for f in os.listdir(os.path.join(REPO, "examples"))
+            if f.endswith(".py")
+        ]
+        for example in examples:
+            assert example in text, f"README misses example {example}"
+
+    def test_docs_directory_files_mentioned(self):
+        text = read("README.md")
+        for doc in os.listdir(os.path.join(REPO, "docs")):
+            assert doc in text, f"README misses docs/{doc}"
+
+
+class TestInventories:
+    def test_cli_lists_match_registries(self, capsys):
+        from repro.cli import main
+
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in SCHEDULERS:
+            assert name in out
+        for name in ALL_GENERATORS:
+            assert name in out
+        for name in presets.PRESETS:
+            assert name in out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_scheduling_doc_covers_registry(self):
+        text = read(os.path.join("docs", "scheduling.md"))
+        for name in SCHEDULERS:
+            assert f"`{name}`" in text or name in text, name
+
+    def test_experiments_md_generated(self):
+        text = read("EXPERIMENTS.md")
+        for exp_id in EXPERIMENTS:
+            assert exp_id.upper() in text, exp_id

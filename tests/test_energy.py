@@ -1,0 +1,113 @@
+"""Tests for energy governors and accounting."""
+
+import pytest
+
+from repro.energy.accounting import account_energy, _idle_gaps
+from repro.energy.governor import AlwaysOnGovernor, DeepSleepGovernor
+from repro.platform import presets
+from repro.platform.power import PowerModel
+from repro.sim.trace import TraceRecorder
+
+
+class TestGovernors:
+    def test_always_on_linear(self):
+        g = AlwaysOnGovernor()
+        pm = PowerModel(idle_watts=10.0, busy_watts=100.0)
+        assert g.idle_energy(pm, 5.0) == 50.0
+        assert g.idle_energy(pm, 0.0) == 0.0
+
+    def test_always_on_negative_rejected(self):
+        with pytest.raises(ValueError):
+            AlwaysOnGovernor().idle_energy(PowerModel(), -1.0)
+
+    def test_deep_sleep_below_threshold_is_idle(self):
+        g = DeepSleepGovernor(threshold_s=2.0, wake_energy_j=5.0)
+        pm = PowerModel(idle_watts=10.0, busy_watts=100.0, sleep_watts=1.0)
+        assert g.idle_energy(pm, 1.5) == 15.0  # no sleep entered
+
+    def test_deep_sleep_beyond_threshold(self):
+        g = DeepSleepGovernor(threshold_s=2.0, wake_energy_j=5.0)
+        pm = PowerModel(idle_watts=10.0, busy_watts=100.0, sleep_watts=1.0)
+        # 2s idle @10 + 3s sleep @1 + 5 wake = 28
+        assert g.idle_energy(pm, 5.0) == pytest.approx(28.0)
+
+    def test_deep_sleep_saves_on_long_gaps(self):
+        g = DeepSleepGovernor(threshold_s=1.0, wake_energy_j=2.0)
+        on = AlwaysOnGovernor()
+        pm = PowerModel(idle_watts=50.0, busy_watts=100.0, sleep_watts=0.5)
+        assert g.idle_energy(pm, 100.0) < on.idle_energy(pm, 100.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DeepSleepGovernor(threshold_s=-1.0)
+
+
+class TestIdleGaps:
+    def test_gaps_with_leading_and_trailing(self):
+        gaps = _idle_gaps([(2.0, 3.0), (5.0, 6.0)], 10.0)
+        assert gaps == [2.0, 2.0, 4.0]
+
+    def test_no_gaps_fully_busy(self):
+        assert _idle_gaps([(0.0, 10.0)], 10.0) == []
+
+    def test_empty_intervals_one_gap(self):
+        assert _idle_gaps([], 7.0) == [7.0]
+
+
+class TestAccounting:
+    def test_idle_cluster_draws_idle_power(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=2)
+        report = account_energy(cluster, makespan=10.0)
+        pm = cluster.devices[0].spec.power
+        assert report.total_joules == pytest.approx(2 * pm.idle_watts * 10.0)
+        assert report.busy_joules == 0.0
+
+    def test_busy_intervals_counted(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        d = cluster.devices[0]
+        d.occupy(0, 0.0, 4.0)
+        report = account_energy(cluster, makespan=10.0)
+        pm = d.spec.power
+        expected = pm.busy_watts * 4.0 + pm.idle_watts * 6.0
+        assert report.total_joules == pytest.approx(expected)
+        assert report.devices[d.uid].busy_seconds == 4.0
+        assert report.devices[d.uid].idle_seconds == 6.0
+
+    def test_trace_energy_overrides_busy_power(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        d = cluster.devices[0]
+        d.occupy(0, 0.0, 4.0)
+        trace = TraceRecorder()
+        trace.record(4.0, "task.finish", device=d.uid, energy_j=123.0)
+        report = account_energy(cluster, makespan=10.0, trace=trace)
+        assert report.devices[d.uid].busy_joules == 123.0
+
+    def test_governor_applied_to_gaps(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        d = cluster.devices[0]
+        d.occupy(0, 0.0, 1.0)
+        on = account_energy(cluster, makespan=100.0,
+                            governor=AlwaysOnGovernor())
+        sleepy = account_energy(cluster, makespan=100.0,
+                                governor=DeepSleepGovernor(threshold_s=1.0))
+        assert sleepy.idle_joules < on.idle_joules
+
+    def test_edp_and_average_power(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        report = account_energy(cluster, makespan=10.0)
+        assert report.edp == pytest.approx(report.total_joules * 10.0)
+        assert report.average_power() == pytest.approx(report.total_joules / 10.0)
+
+    def test_zero_makespan(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        report = account_energy(cluster, makespan=0.0)
+        assert report.total_joules == 0.0
+        assert report.average_power() == 0.0
+
+    def test_intervals_clipped_at_makespan(self):
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        d = cluster.devices[0]
+        d.occupy(0, 0.0, 100.0)
+        report = account_energy(cluster, makespan=10.0)
+        assert report.devices[d.uid].busy_seconds == 10.0
+        assert report.devices[d.uid].idle_seconds == 0.0

@@ -1,0 +1,146 @@
+"""Edge-case tests for the executor."""
+
+import pytest
+
+from repro import run_workflow
+from repro.core.executor import WorkflowExecutor
+from repro.core.policies import StaticPolicy
+from repro.platform import presets
+from repro.platform.cluster import Cluster
+from repro.platform.devices import catalogue
+from repro.platform.nodes import NodeSpec
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.heft import HeftScheduler
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, cpu_task, gpu_task
+
+
+def run_static(wf, cluster, **kwargs):
+    cluster.reset()
+    plan = HeftScheduler().schedule(SchedulingContext(wf, cluster))
+    executor = WorkflowExecutor(wf, cluster, StaticPolicy(plan), **kwargs)
+    return executor
+
+
+class TestMinimalWorkflows:
+    def test_single_task_no_files(self, workstation):
+        wf = Workflow("one")
+        wf.add_file(DataFile("out", 0.1))
+        wf.add_task(cpu_task("only", 50.0, outputs=("out",)))
+        result = run_workflow(wf, workstation, seed=1)
+        assert result.success
+        assert result.makespan == pytest.approx(1.0, rel=0.01)  # 50/50 Gop/s
+
+    def test_pure_control_dependencies(self, workstation):
+        wf = Workflow("control")
+        wf.add_file(DataFile("oa", 0.001))
+        wf.add_file(DataFile("ob", 0.001))
+        wf.add_task(cpu_task("a", 10.0, outputs=("oa",)))
+        wf.add_task(cpu_task("b", 10.0, outputs=("ob",)))
+        wf.add_control_edge("a", "b")
+        result = run_workflow(wf, workstation, seed=1)
+        assert result.success
+        records = result.execution.records
+        assert records["a"].finish <= records["b"].start + 1e-9
+
+    def test_zero_size_outputs(self, workstation):
+        wf = Workflow("zero")
+        wf.add_file(DataFile("marker", 0.0))
+        wf.add_task(cpu_task("p", 10.0, outputs=("marker",)))
+        wf.add_task(cpu_task("c", 10.0, inputs=("marker",)))
+        result = run_workflow(wf, workstation, seed=1)
+        assert result.success
+
+
+class TestInitialFileLocations:
+    def test_born_on_node_skips_storage(self):
+        cat = catalogue()
+        cluster = Cluster("two", [
+            NodeSpec.of("n0", [cat["cpu-std"]]),
+            NodeSpec.of("n1", [cat["cpu-std"]]),
+        ])
+        wf = Workflow("local")
+        wf.add_file(DataFile("cap", 100.0, initial=True, location="n0"))
+        wf.add_file(DataFile("out", 0.1))
+        wf.add_task(cpu_task("t", 10.0, inputs=("cap",), outputs=("out",)))
+        result = run_workflow(wf, cluster, seed=1)
+        assert result.success
+        # No shared-storage staging happened for the 100 MB input.
+        assert result.execution.staging_mb == 0.0
+
+    def test_unknown_location_fails_loudly(self, workstation):
+        wf = Workflow("bad")
+        wf.add_file(DataFile("cap", 1.0, initial=True, location="mars"))
+        wf.add_file(DataFile("out", 0.1))
+        wf.add_task(cpu_task("t", 10.0, inputs=("cap",), outputs=("out",)))
+        with pytest.raises(KeyError):
+            run_workflow(wf, workstation, seed=1)
+
+
+class TestStoreOverflow:
+    def test_oversized_inputs_stream_without_caching(self):
+        cat = catalogue()
+        # 1 GB disk; the 5 GB database cannot be cached.
+        cluster = Cluster("tiny", [
+            NodeSpec.of("n0", [cat["cpu-std"]], disk_capacity_gb=1.0),
+        ])
+        wf = Workflow("big")
+        wf.add_file(DataFile("db", 5000.0, initial=True))
+        wf.add_file(DataFile("out", 0.1))
+        wf.add_task(cpu_task("t", 10.0, inputs=("db",), outputs=("out",)))
+        result = run_workflow(wf, cluster, seed=1)
+        assert result.success
+        assert len(result.execution.trace.of_kind("store.overflow")) >= 1
+
+    def test_eviction_counted(self):
+        cat = catalogue()
+        cluster = Cluster("small", [
+            NodeSpec.of("n0", [cat["cpu-std"]], disk_capacity_gb=1.0),
+        ])
+        wf = Workflow("churn")
+        prev = None
+        for i in range(4):
+            fin = wf.add_file(DataFile(f"in{i}", 400.0, initial=True))
+            out = wf.add_file(DataFile(f"out{i}", 400.0))
+            inputs = (fin.name,) if prev is None else (fin.name, prev)
+            wf.add_task(cpu_task(f"t{i}", 10.0, inputs=inputs,
+                                 outputs=(out.name,)))
+            prev = out.name
+        result = run_workflow(wf, cluster, seed=1)
+        assert result.success
+        assert result.execution.evictions > 0
+
+
+class TestGpuOnlyTasks:
+    def test_cpu_opt_out_runs_on_gpu(self, workstation):
+        from repro.platform.devices import DeviceClass
+        from repro.workflows.task import Task
+
+        wf = Workflow("gpuonly")
+        wf.add_file(DataFile("o", 0.1))
+        wf.add_task(Task("g", 700.0,
+                         affinity={DeviceClass.CPU: 0.0, DeviceClass.GPU: 1.0},
+                         outputs=("o",)))
+        wf.add_task(cpu_task("c", 1.0, inputs=("o",)))
+        result = run_workflow(wf, workstation, seed=1)
+        assert result.success
+        assert "gpu" in result.execution.records["g"].device
+
+
+class TestPartialRuns:
+    def test_max_time_reports_partial_metrics(self, small_montage, hybrid_cluster):
+        result = run_workflow(
+            small_montage, hybrid_cluster, seed=1, max_time=0.5
+        )
+        assert not result.success
+        assert 0 < result.execution.completed_tasks < small_montage.n_tasks
+
+    def test_executor_state_queries(self, small_montage, hybrid_cluster):
+        executor = run_static(small_montage, hybrid_cluster)
+        assert executor.now == 0.0
+        assert len(executor.free_devices()) == len(hybrid_cluster.devices)
+        assert executor.ready_tasks() == []
+        result = executor.run()
+        assert result.success
+        assert executor.ready_tasks() == []
+        assert not executor.busy_devices

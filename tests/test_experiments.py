@@ -1,0 +1,108 @@
+"""Tests for the experiment runners (micro-quick configurations)."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.common import ExperimentResult, suite_workflows
+
+
+class TestCommon:
+    def test_suite_workflows_five_suites(self):
+        wfs = suite_workflows(size=20, seed=0)
+        assert set(wfs) == {
+            "montage", "cybershake", "epigenomics", "ligo", "sipht"
+        }
+        for wf in wfs.values():
+            assert wf.n_tasks > 5
+
+    def test_registry_complete(self):
+        core = {
+            "t1", "t2", "t3", "t4", "t5",
+            "f1", "f2", "f3", "f4", "f5", "f6", "f7",
+        }
+        assert core <= set(REGISTRY)
+        extensions = set(REGISTRY) - core
+        assert all(x.startswith("x") for x in extensions)
+
+    def test_experiment_result_render(self):
+        res = ExperimentResult("X", series={"s": {1.0: 2.0}},
+                               notes={"k": "v"})
+        text = res.render()
+        assert "X" in text and "s" in text and "k: v" in text
+
+
+@pytest.mark.parametrize("exp_id", sorted(REGISTRY))
+def test_experiment_quick_runs_and_renders(exp_id):
+    """Every experiment runs in quick mode and renders something."""
+    result = REGISTRY[exp_id](quick=True, seed=1)
+    assert isinstance(result, ExperimentResult)
+    text = result.render()
+    assert len(text) > 50
+
+
+class TestShapes:
+    """The load-bearing shape claims of the reproduction."""
+
+    def test_t1_hdws_among_best(self):
+        res = REGISTRY["t1"](quick=True, seed=0)
+        geo = res.notes["geomean_makespan"]
+        best = min(geo.values())
+        assert geo["hdws"] <= best * 1.10
+
+    def test_t1_informed_beat_naive(self):
+        res = REGISTRY["t1"](quick=True, seed=0)
+        geo = res.notes["geomean_makespan"]
+        assert geo["hdws"] < geo["olb"]
+        assert geo["heft"] < geo["olb"]
+
+    def test_t2_gpu_speedup_substantial(self):
+        res = REGISTRY["t2"](quick=True, seed=0)
+        assert res.notes["gpu_speedup_geomean"] > 2.0
+
+    def test_f1_speedup_grows_with_nodes(self):
+        res = REGISTRY["f1"](quick=True, seed=0)
+        series = res.series["speedup[hdws]"]
+        xs = sorted(series)
+        assert series[xs[-1]] > series[xs[0]]
+
+    def test_f2_gap_grows_with_ccr(self):
+        res = REGISTRY["f2"](quick=True, seed=0)
+        olb = res.series["vs-hdws[olb]"]
+        xs = sorted(olb)
+        assert olb[xs[-1]] >= olb[xs[0]] * 0.9  # no collapse at high CCR
+
+    def test_f3_first_gpu_most_valuable(self):
+        res = REGISTRY["f3"](quick=True, seed=0)
+        for wname, gains in res.notes["marginal_utility"].items():
+            assert gains["first_gpu"] >= gains["last_gpu"] * 0.9
+
+    def test_t3_energy_aware_saves_energy(self):
+        res = REGISTRY["t3"](quick=True, seed=0)
+        geo_e = res.notes["geomean_energy"]
+        geo_m = res.notes["geomean_makespan"]
+        assert geo_e["ea-0.3"] < geo_e["heft"]
+        assert geo_m["ea-0.3"] > geo_m["heft"]  # the price of saving energy
+
+    def test_f7_endpoints_ordered(self):
+        res = REGISTRY["f7"](quick=True, seed=0)
+        makespan = res.series["makespan"]
+        energy = res.series["energy_j"]
+        assert makespan[1.0] <= makespan[0.0]
+        assert energy[0.0] <= energy[1.0]
+
+    def test_f5_protection_keeps_success(self):
+        res = REGISTRY["f5"](quick=True, seed=0)
+        success = res.series["success-rate[none]"]
+        rates = sorted(success)
+        # no faults -> always succeeds without protection
+        assert success[rates[0]] == 1.0
+
+    def test_t5_overhead_grows_with_size(self):
+        res = REGISTRY["t5"](quick=True, seed=0)
+        growth = res.notes["growth_first_to_last"]
+        assert all(g > 1.0 for g in growth.values())
+
+    def test_f6_locality_cuts_traffic(self):
+        res = REGISTRY["f6"](quick=True, seed=0)
+        ratios = res.notes["traffic_ratio_noloc_vs_loc"]
+        assert ratios["montage"] >= 1.0

@@ -1,0 +1,91 @@
+"""Tests for machine-readable exports."""
+
+import json
+
+import pytest
+
+from repro import run_workflow
+from repro.analysis.compare import ComparisonTable
+from repro.analysis.export import (
+    run_result_to_dict,
+    run_result_to_json,
+    table_from_csv,
+    table_to_csv,
+    trace_to_jsonl,
+)
+from repro.platform import presets
+from repro.workflows.generators import montage
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workflow(
+        montage(n_images=5, seed=1),
+        presets.hybrid_cluster(nodes=2, cores_per_node=2),
+        seed=1,
+    )
+
+
+class TestTableCsv:
+    def make(self):
+        t = ComparisonTable("wf")
+        t.set("m", "heft", 10.0)
+        t.set("m", "hdws", 8.0)
+        t.set("c", "heft", 20.0)
+        return t
+
+    def test_round_trip(self):
+        original = self.make()
+        clone = table_from_csv(table_to_csv(original))
+        assert clone.rows == original.rows
+        assert clone.columns == original.columns
+        assert clone.get("m", "hdws") == 8.0
+
+    def test_missing_cells_stay_missing(self):
+        clone = table_from_csv(table_to_csv(self.make()))
+        with pytest.raises(KeyError):
+            clone.get("c", "hdws")
+
+    def test_file_output(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        table_to_csv(self.make(), path)
+        with open(path) as fh:
+            assert "hdws" in fh.read()
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_csv("")
+
+
+class TestRunResultExport:
+    def test_dict_is_json_safe(self, result):
+        payload = run_result_to_dict(result)
+        json.dumps(payload)
+        assert payload["workflow"] == result.workflow
+        assert payload["summary"]["success"] == 1.0
+        assert len(payload["tasks"]) == len(result.execution.records)
+
+    def test_json_file(self, result, tmp_path):
+        path = str(tmp_path / "run.json")
+        run_result_to_json(result, path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["cluster"] == result.cluster
+
+    def test_scheduler_name_flattened(self, result):
+        assert isinstance(run_result_to_dict(result)["scheduler"], str)
+
+
+class TestTraceExport:
+    def test_jsonl_lines_parse(self, result):
+        text = trace_to_jsonl(result.execution.trace)
+        lines = text.splitlines()
+        assert len(lines) == len(result.execution.trace)
+        first = json.loads(lines[0])
+        assert "time" in first and "kind" in first
+
+    def test_jsonl_file(self, result, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        trace_to_jsonl(result.execution.trace, path)
+        with open(path) as fh:
+            assert fh.readline().startswith("{")

@@ -1,0 +1,168 @@
+"""Tests for the HDWS scheduler (the core contribution)."""
+
+import pytest
+
+from repro.core.hdws import HdwsScheduler
+from repro.platform import presets
+from repro.platform.devices import DeviceClass
+from repro.schedulers import REGISTRY
+from repro.schedulers.base import SchedulingContext
+from repro.workflows.generators import cybershake, montage
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, cpu_task, gpu_task
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2, gpus_per_node=1)
+    return SchedulingContext(cybershake(n_variations=8, seed=1), cluster)
+
+
+class TestRegistration:
+    def test_registered_in_scheduler_registry(self):
+        assert "hdws" in REGISTRY
+        assert REGISTRY["hdws"] is HdwsScheduler
+
+
+class TestAblations:
+    @pytest.mark.parametrize("flag", [
+        "use_affinity_rank", "use_scarcity", "use_locality", "use_lookahead",
+    ])
+    def test_each_ablation_valid(self, ctx, flag):
+        sched = HdwsScheduler(**{flag: False})
+        schedule = sched.schedule(ctx)
+        schedule.validate_against(ctx.workflow)
+
+    def test_all_off_still_valid(self, ctx):
+        sched = HdwsScheduler(
+            use_affinity_rank=False, use_scarcity=False,
+            use_locality=False, use_lookahead=False,
+        )
+        sched.schedule(ctx).validate_against(ctx.workflow)
+
+
+class TestScarcityTieBreak:
+    def test_contended_class_detection(self):
+        """One GPU + GPU-hungry workload => GPU pressure flagged > 1."""
+        wf = Workflow("hungry")
+        for i in range(8):
+            out = wf.add_file(DataFile(f"o{i}", 1.0))
+            wf.add_task(gpu_task(f"g{i}", 1000.0, gpu_speedup=20.0,
+                                 outputs=(out.name,)))
+            wf.add_task(cpu_task(f"c{i}", 1.0, inputs=(out.name,)))
+        cluster = presets.hybrid_cluster(nodes=1, cores_per_node=4,
+                                         gpus_per_node=1)
+        ctx = SchedulingContext(wf, cluster)
+        pressure = HdwsScheduler()._class_pressure(ctx)
+        assert pressure.get(DeviceClass.GPU, 0.0) > 1.0
+
+    def test_near_tied_low_benefit_task_yields_contended_gpu(self):
+        """Near-tie between CPU and a contended GPU -> CPU wins."""
+        wf = Workflow("mixed")
+        for i in range(6):
+            out = wf.add_file(DataFile(f"o{i}", 1.0))
+            wf.add_task(gpu_task(f"heavy{i}", 2000.0, gpu_speedup=20.0,
+                                 outputs=(out.name,)))
+            wf.add_task(cpu_task(f"sink{i}", 1.0, inputs=(out.name,)))
+        wf.add_file(DataFile("low_o", 1.0))
+        # Speedup tuned so GPU time ~= CPU time (benefit ~1, a near-tie).
+        wf.add_task(gpu_task("low", 200.0, gpu_speedup=0.0715,
+                             outputs=("low_o",)))
+        wf.add_task(cpu_task("low_sink", 1.0, inputs=("low_o",)))
+        cluster = presets.hybrid_cluster(nodes=1, cores_per_node=2,
+                                         gpus_per_node=1)
+        ctx = SchedulingContext(wf, cluster)
+        schedule = HdwsScheduler(use_scarcity=True).schedule(ctx)
+        assert "gpu" not in schedule.device_of("low")
+
+    def test_clearly_faster_gpu_is_never_blocked(self):
+        """The tie-break must not veto a decisively better accelerator.
+
+        An early hard-filter design lost badly here: if the GPU is much
+        faster for a 'low-benefit-threshold' task and the CPUs are busy,
+        HDWS must still use the GPU.
+        """
+        wf = Workflow("mixed2")
+        for i in range(10):
+            out = wf.add_file(DataFile(f"h{i}", 1.0))
+            wf.add_task(gpu_task(f"heavy{i}", 1500.0, gpu_speedup=20.0,
+                                 outputs=(out.name,)))
+            wf.add_task(cpu_task(f"hs{i}", 1.0, inputs=(out.name,)))
+        for i in range(10):
+            out = wf.add_file(DataFile(f"l{i}", 1.0))
+            # benefit ~1.4: below the 2.0 threshold but clearly faster
+            wf.add_task(gpu_task(f"low{i}", 300.0, gpu_speedup=0.1,
+                                 outputs=(out.name,)))
+            wf.add_task(cpu_task(f"ls{i}", 1.0, inputs=(out.name,)))
+        cluster = presets.gpu_count_cluster(1, nodes=2, cores_per_node=2)
+        ctx = SchedulingContext(wf, cluster)
+        from repro.schedulers.heft import HeftScheduler
+
+        hdws = HdwsScheduler(use_scarcity=True).schedule(ctx).makespan
+        heft = HeftScheduler().schedule(ctx).makespan
+        assert hdws <= heft * 1.10
+
+    def test_benefit_infinite_for_cpu_ineligible(self, ctx):
+        from repro.platform.devices import DeviceClass as DC
+        from repro.workflows.task import Task
+
+        wf = Workflow("w")
+        o = wf.add_file(DataFile("o", 1.0))
+        wf.add_task(Task("gpuonly", 10.0,
+                         affinity={DC.CPU: 0.0, DC.GPU: 5.0},
+                         outputs=("o",)))
+        wf.add_task(cpu_task("c", 1.0, inputs=("o",)))
+        cluster = presets.hybrid_cluster(nodes=1, cores_per_node=2)
+        c = SchedulingContext(wf, cluster)
+        gpu = c.eligible_devices("gpuonly")[0]
+        assert HdwsScheduler()._benefit(c, "gpuonly", gpu) == float("inf")
+
+
+class TestLocality:
+    def test_locality_reduces_planned_remote_bytes(self):
+        wf = cybershake(n_variations=6, seed=2)
+        cluster = presets.hybrid_cluster(nodes=4, cores_per_node=2)
+        ctx = SchedulingContext(wf, cluster)
+
+        def planned_remote_mb(schedule):
+            total = 0.0
+            for name, a in schedule.assignments.items():
+                node = cluster.device(a.device).node.name
+                for fname in wf.tasks[name].inputs:
+                    f = wf.files[fname]
+                    producer = wf.producer_of(fname)
+                    if producer is None:
+                        total += f.size_mb  # staged from storage
+                    else:
+                        pnode = cluster.device(
+                            schedule.device_of(producer)
+                        ).node.name
+                        if pnode != node:
+                            total += f.size_mb
+            return total
+
+        loc = HdwsScheduler(use_locality=True).schedule(ctx)
+        noloc = HdwsScheduler(use_locality=False).schedule(ctx)
+        assert planned_remote_mb(loc) <= planned_remote_mb(noloc)
+
+    def test_locality_tolerance_bounds_makespan_loss(self, ctx):
+        loc = HdwsScheduler(use_locality=True, locality_tolerance=0.05)
+        noloc = HdwsScheduler(use_locality=False)
+        m_loc = loc.schedule(ctx).makespan
+        m_no = noloc.schedule(ctx).makespan
+        # The tie-break may only pick candidates within the tolerance, so
+        # per-task losses are bounded; end-to-end we allow a wider margin.
+        assert m_loc <= m_no * 1.5
+
+
+class TestQuality:
+    def test_beats_or_matches_heft_on_suites(self):
+        from repro.schedulers.heft import HeftScheduler
+
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        for gen_seed in (1, 2, 3):
+            wf = montage(n_images=8, seed=gen_seed)
+            c = SchedulingContext(wf, cluster)
+            hdws = HdwsScheduler().schedule(c).makespan
+            heft = HeftScheduler().schedule(c).makespan
+            assert hdws <= heft * 1.10

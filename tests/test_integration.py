@@ -1,0 +1,113 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import pytest
+
+from repro import compare_schedulers, run_workflow
+from repro.analysis.metrics import speedup
+from repro.energy.governor import DeepSleepGovernor
+from repro.faults.models import FaultModel
+from repro.faults.recovery import RecoveryPolicy
+from repro.platform import presets
+from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
+from repro.workflows.generators import (
+    cybershake,
+    epigenomics,
+    ligo_inspiral,
+    ml_pipeline,
+    montage,
+    sipht,
+)
+from repro.workflows.serialize import workflow_from_json, workflow_to_json
+
+
+class TestSuitesEndToEnd:
+    @pytest.mark.parametrize("gen", [
+        montage, cybershake, epigenomics, ligo_inspiral, sipht, ml_pipeline,
+    ])
+    def test_every_suite_runs_on_every_mode(self, gen):
+        wf = gen(size=25, seed=1)
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        for mode in ("static", "dynamic", "adaptive"):
+            result = run_workflow(wf, cluster, mode=mode, seed=1,
+                                  noise_cv=0.2)
+            assert result.success, f"{wf.name} failed in {mode}"
+
+    def test_serialized_workflow_runs_identically(self):
+        wf = montage(n_images=6, seed=3)
+        clone = workflow_from_json(workflow_to_json(wf))
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        r1 = run_workflow(wf, cluster, seed=2, noise_cv=0.3)
+        r2 = run_workflow(clone, cluster, seed=2, noise_cv=0.3)
+        assert r1.makespan == pytest.approx(r2.makespan)
+
+
+class TestHeterogeneityStory:
+    def test_gpus_speed_up_accelerable_suite(self):
+        wf = cybershake(n_variations=8, seed=2)
+        cpu = presets.cpu_cluster(nodes=2, cores_per_node=4)
+        hybrid = presets.hybrid_cluster(nodes=2, cores_per_node=4,
+                                        gpus_per_node=1)
+        slow = run_workflow(wf, cpu, seed=1).makespan
+        fast = run_workflow(wf, hybrid, seed=1).makespan
+        assert fast < slow / 2
+
+    def test_parallel_speedup_positive(self):
+        wf = montage(size=60, seed=2)
+        cluster = presets.hybrid_cluster(nodes=4)
+        result = run_workflow(wf, cluster, seed=1)
+        assert speedup(result.makespan, wf, cluster) > 2.0
+
+    def test_informed_beats_naive_end_to_end(self):
+        wf = ligo_inspiral(size=40, seed=2)
+        cluster = presets.hybrid_cluster(nodes=2)
+        results = compare_schedulers(
+            wf, cluster, ["hdws", "roundrobin"], seed=1, noise_cv=0.1
+        )
+        assert results["hdws"].makespan < results["roundrobin"].makespan
+
+
+class TestEnergyStory:
+    def test_energy_aware_saves_energy_end_to_end(self):
+        wf = ligo_inspiral(size=30, seed=1)
+        governor = DeepSleepGovernor(threshold_s=0.5)
+        fast_cluster = presets.hybrid_cluster(nodes=2, dvfs=True)
+        green_cluster = presets.hybrid_cluster(nodes=2, dvfs=True)
+        fast = run_workflow(
+            wf, fast_cluster, scheduler=EnergyAwareHeftScheduler(alpha=1.0),
+            seed=1, governor=governor,
+        )
+        green = run_workflow(
+            wf, green_cluster, scheduler=EnergyAwareHeftScheduler(alpha=0.1),
+            seed=1, governor=governor,
+        )
+        assert green.energy.total_joules < fast.energy.total_joules
+        assert green.makespan >= fast.makespan * 0.95
+
+
+class TestFaultStory:
+    def test_campaign_survives_hostile_environment(self):
+        wf = cybershake(n_variations=8, seed=3).scaled(2.0)
+        cluster = presets.hybrid_cluster(nodes=4)
+        result = run_workflow(
+            wf, cluster, seed=5, noise_cv=0.2,
+            fault_model=FaultModel(task_fault_rate=0.1, device_mtbf=120.0),
+            recovery=RecoveryPolicy(max_retries=30, archive_outputs=True,
+                                    checkpoint_interval_s=1.0),
+        )
+        assert result.success
+
+    def test_faultier_is_slower(self):
+        wf = cybershake(n_variations=8, seed=3).scaled(3.0)
+        cluster = presets.hybrid_cluster(nodes=2)
+        calm = run_workflow(
+            wf, cluster, seed=5,
+            fault_model=FaultModel(task_fault_rate=0.01),
+            recovery=RecoveryPolicy.retry(50),
+        )
+        storm = run_workflow(
+            wf, cluster, seed=5,
+            fault_model=FaultModel(task_fault_rate=0.5),
+            recovery=RecoveryPolicy.retry(50),
+        )
+        assert storm.makespan > calm.makespan
+        assert storm.execution.task_faults > calm.execution.task_faults

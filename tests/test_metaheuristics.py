@@ -1,0 +1,73 @@
+"""Tests for the annealing and lookahead-HEFT schedulers."""
+
+import pytest
+
+from repro.platform import presets
+from repro.schedulers.annealing import SimulatedAnnealingScheduler
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.heft import HeftScheduler
+from repro.schedulers.lookahead import LookaheadHeftScheduler
+from repro.workflows.generators import ligo_inspiral, montage, random_dag
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+    return SchedulingContext(random_dag(n_tasks=30, ccr=1.0, seed=4), cluster)
+
+
+class TestAnnealing:
+    def test_never_worse_than_heft_seed(self, ctx):
+        heft = HeftScheduler().schedule(ctx).makespan
+        sa = SimulatedAnnealingScheduler(iterations=150, seed=1).schedule(ctx)
+        assert sa.makespan <= heft + 1e-9
+
+    def test_zero_iterations_reproduces_heft(self, ctx):
+        heft = HeftScheduler().schedule(ctx).makespan
+        sa = SimulatedAnnealingScheduler(iterations=0).schedule(ctx)
+        assert sa.makespan == pytest.approx(heft)
+
+    def test_deterministic(self, ctx):
+        a = SimulatedAnnealingScheduler(iterations=100, seed=5).schedule(ctx)
+        b = SimulatedAnnealingScheduler(iterations=100, seed=5).schedule(ctx)
+        assert a.makespan == b.makespan
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(iterations=-1)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(cooling=1.0)
+
+    def test_more_iterations_never_hurt(self, ctx):
+        short = SimulatedAnnealingScheduler(iterations=50, seed=2).schedule(ctx)
+        long = SimulatedAnnealingScheduler(iterations=400, seed=2).schedule(ctx)
+        assert long.makespan <= short.makespan + 1e-9
+
+
+class TestLookaheadHeft:
+    @pytest.mark.parametrize("gen,kwargs", [
+        (montage, {"n_images": 6}),
+        (ligo_inspiral, {"n_segments": 6, "group_size": 3}),
+    ])
+    def test_valid_on_suites(self, gen, kwargs):
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        wf = gen(seed=2, **kwargs)
+        context = SchedulingContext(wf, cluster)
+        schedule = LookaheadHeftScheduler().schedule(context)
+        schedule.validate_against(wf)
+
+    def test_competitive_with_heft(self, ctx):
+        la = LookaheadHeftScheduler().schedule(ctx).makespan
+        heft = HeftScheduler().schedule(ctx).makespan
+        assert la <= heft * 1.25
+
+    def test_slower_to_schedule_than_heft(self, ctx):
+        import time
+
+        t0 = time.perf_counter()
+        HeftScheduler().schedule(ctx)
+        heft_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        LookaheadHeftScheduler().schedule(ctx)
+        la_time = time.perf_counter() - t0
+        assert la_time > heft_time

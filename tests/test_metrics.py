@@ -1,0 +1,111 @@
+"""Tests for the analysis metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_utilization,
+    critical_path_best_time,
+    efficiency,
+    per_class_utilization,
+    schedule_length_ratio,
+    serial_time,
+    speedup,
+)
+from repro.platform import presets
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.heft import HeftScheduler
+from repro.workflows.generators import montage
+
+
+@pytest.fixture(scope="module")
+def setting():
+    wf = montage(n_images=6, seed=2)
+    cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+    ctx = SchedulingContext(wf, cluster)
+    return wf, cluster, ctx
+
+
+class TestCriticalPath:
+    def test_positive_and_leq_serial(self, setting):
+        wf, cluster, ctx = setting
+        cp = critical_path_best_time(ctx)
+        assert 0 < cp <= serial_time(wf, cluster, cpu_only=False) + 1e-9
+
+    def test_slr_of_schedule_geq_one(self, setting):
+        wf, _cluster, ctx = setting
+        schedule = HeftScheduler().schedule(ctx)
+        assert schedule_length_ratio(schedule.makespan, ctx) >= 1.0
+
+    def test_slr_zero_makespan(self, setting):
+        _wf, _cluster, ctx = setting
+        assert schedule_length_ratio(0.0, ctx) == 0.0
+
+
+class TestSerialAndSpeedup:
+    def test_serial_time_cpu_only_geq_best(self, setting):
+        wf, cluster, _ctx = setting
+        assert serial_time(wf, cluster, cpu_only=True) >= serial_time(
+            wf, cluster, cpu_only=False
+        )
+
+    def test_speedup_definition(self, setting):
+        wf, cluster, _ctx = setting
+        assert speedup(10.0, wf, cluster) == pytest.approx(
+            serial_time(wf, cluster) / 10.0
+        )
+
+    def test_speedup_infinite_for_zero_makespan(self, setting):
+        wf, cluster, _ctx = setting
+        assert speedup(0.0, wf, cluster) == float("inf")
+
+    def test_efficiency_is_per_device(self, setting):
+        wf, cluster, _ctx = setting
+        n = len(cluster.devices)
+        assert efficiency(10.0, wf, cluster) == pytest.approx(
+            speedup(10.0, wf, cluster) / n
+        )
+
+    def test_gpu_only_task_served_by_fallback(self):
+        from repro.platform.devices import DeviceClass
+        from repro.workflows.graph import Workflow
+        from repro.workflows.task import DataFile, Task, cpu_task
+
+        wf = Workflow("w")
+        wf.add_file(DataFile("o", 1.0))
+        wf.add_task(Task("g", 100.0,
+                         affinity={DeviceClass.CPU: 0.0, DeviceClass.GPU: 10.0},
+                         outputs=("o",)))
+        wf.add_task(cpu_task("c", 1.0, inputs=("o",)))
+        cluster = presets.hybrid_cluster(nodes=1, cores_per_node=1)
+        assert serial_time(wf, cluster, cpu_only=True) > 0
+
+
+class TestUtilization:
+    def test_idle_cluster_zero(self, setting):
+        _wf, cluster, _ctx = setting
+        cluster.reset()
+        assert average_utilization(cluster, 10.0) == 0.0
+
+    def test_busy_device_counted(self, setting):
+        _wf, cluster, _ctx = setting
+        cluster.reset()
+        cluster.devices[0].occupy(0, 0.0, 10.0)
+        util = average_utilization(cluster, 10.0)
+        assert util == pytest.approx(1.0 / len(cluster.devices))
+        cluster.reset()
+
+    def test_per_class_breakdown(self, setting):
+        _wf, cluster, _ctx = setting
+        cluster.reset()
+        gpu = cluster.devices_of_class(
+            __import__("repro.platform.devices", fromlist=["DeviceClass"]).DeviceClass.GPU
+        )[0]
+        gpu.occupy(0, 0.0, 5.0)
+        per = per_class_utilization(cluster, 10.0)
+        assert per["gpu"] > 0
+        assert per["cpu"] == 0.0
+        cluster.reset()
+
+    def test_zero_makespan_empty(self, setting):
+        _wf, cluster, _ctx = setting
+        assert per_class_utilization(cluster, 0.0) == {}

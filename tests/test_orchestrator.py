@@ -1,0 +1,125 @@
+"""Tests for the orchestrator and the public API."""
+
+import pytest
+
+from repro import Orchestrator, RunConfig, compare_schedulers, run_workflow
+from repro.faults.models import FaultModel
+from repro.faults.recovery import RecoveryPolicy
+from repro.platform import presets
+from repro.workflows.generators import montage
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, cpu_task
+
+
+class TestRunConfig:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RunConfig(mode="psychic")
+
+    def test_unknown_scheduler_resolution_fails(self):
+        with pytest.raises(KeyError):
+            RunConfig(scheduler="nonesuch").resolve_scheduler()
+
+    def test_scheduler_instance_passthrough(self):
+        from repro.core.hdws import HdwsScheduler
+
+        sched = HdwsScheduler(use_locality=False)
+        assert RunConfig(scheduler=sched).resolve_scheduler() is sched
+
+
+class TestOrchestrator:
+    def test_static_run_returns_plan(self, small_montage, hybrid_cluster):
+        result = run_workflow(small_montage, hybrid_cluster, seed=1)
+        assert result.plan is not None
+        assert result.success
+        assert result.workflow == small_montage.name
+        assert result.cluster == hybrid_cluster.name
+
+    def test_dynamic_run_has_no_plan(self, small_montage, hybrid_cluster):
+        result = run_workflow(
+            small_montage, hybrid_cluster, mode="dynamic", seed=1
+        )
+        assert result.plan is None
+        assert result.success
+
+    def test_adaptive_run(self, small_montage, hybrid_cluster):
+        result = run_workflow(
+            small_montage, hybrid_cluster, mode="adaptive", seed=1,
+            noise_cv=0.3,
+        )
+        assert result.success
+
+    def test_invalid_workflow_rejected(self, hybrid_cluster):
+        wf = Workflow("bad")
+        wf.add_file(DataFile("ghost", 1.0))
+        wf.add_task(cpu_task("t", 1.0, inputs=("ghost",)))
+        with pytest.raises(Exception):
+            run_workflow(wf, hybrid_cluster)
+
+    def test_validation_can_be_skipped(self, hybrid_cluster):
+        wf = Workflow("odd")
+        wf.add_file(DataFile("orphan", 1.0))  # unused file: invalid
+        wf.add_file(DataFile("o", 1.0))
+        wf.add_task(cpu_task("t", 1.0, outputs=("o",)))
+        result = run_workflow(wf, hybrid_cluster, validate=False)
+        assert result.success
+
+    def test_summary_keys(self, small_montage, hybrid_cluster):
+        result = run_workflow(small_montage, hybrid_cluster, seed=1)
+        summary = result.summary()
+        for key in ("makespan", "energy_j", "edp", "network_mb", "success"):
+            assert key in summary
+        assert summary["success"] == 1.0
+
+    def test_same_seed_reproducible(self, small_montage, hybrid_cluster):
+        r1 = run_workflow(small_montage, hybrid_cluster, seed=9, noise_cv=0.4)
+        r2 = run_workflow(small_montage, hybrid_cluster, seed=9, noise_cv=0.4)
+        assert r1.makespan == r2.makespan
+        assert r1.energy.total_joules == r2.energy.total_joules
+
+    def test_cluster_reset_between_runs(self, small_montage, hybrid_cluster):
+        run_workflow(small_montage, hybrid_cluster, seed=1)
+        first_busy = sum(d.busy_time() for d in hybrid_cluster.devices)
+        run_workflow(small_montage, hybrid_cluster, seed=1)
+        second_busy = sum(d.busy_time() for d in hybrid_cluster.devices)
+        assert first_busy == pytest.approx(second_busy)
+
+    def test_default_cluster_is_workstation(self, small_montage):
+        result = run_workflow(small_montage, seed=1)
+        assert result.cluster == "workstation"
+
+    def test_faulty_run_with_recovery(self, small_montage, hybrid_cluster):
+        result = run_workflow(
+            small_montage, hybrid_cluster, seed=2,
+            fault_model=FaultModel(task_fault_rate=1.0),
+            recovery=RecoveryPolicy.retry(40),
+        )
+        assert result.success
+
+
+class TestCompareSchedulers:
+    def test_results_keyed_by_name(self, small_montage, hybrid_cluster):
+        results = compare_schedulers(
+            small_montage, hybrid_cluster, ["heft", "minmin"], seed=1
+        )
+        assert set(results) == {"heft", "minmin"}
+
+    def test_scheduler_instances_accepted(self, small_montage, hybrid_cluster):
+        from repro.core.hdws import HdwsScheduler
+
+        results = compare_schedulers(
+            small_montage, hybrid_cluster, [HdwsScheduler(), "heft"], seed=1
+        )
+        assert "hdws" in results
+
+    def test_identical_noise_across_runs(self, small_montage, hybrid_cluster):
+        """Same seed + same algorithm = identical noisy run, even through
+        the compare_schedulers wrapper."""
+        r1 = compare_schedulers(
+            small_montage, hybrid_cluster, ["heft"], seed=4, noise_cv=0.5
+        )["heft"]
+        r2 = run_workflow(
+            small_montage, hybrid_cluster, scheduler="heft", seed=4,
+            noise_cv=0.5,
+        )
+        assert r1.makespan == pytest.approx(r2.makespan)

@@ -1,0 +1,122 @@
+"""Tests for device specs and live devices."""
+
+import pytest
+
+from repro.platform.devices import Device, DeviceClass, DeviceSpec, catalogue
+from repro.platform.nodes import Node, NodeSpec
+
+
+def make_device(spec=None):
+    spec = spec or catalogue()["cpu-std"]
+    node = Node(NodeSpec.of("n0", [spec]))
+    return node.devices[0]
+
+
+class TestDeviceSpec:
+    def test_catalogue_entries_valid(self):
+        cat = catalogue()
+        assert {"cpu-std", "gpu-std", "fpga-std"} <= set(cat)
+        for spec in cat.values():
+            assert spec.speed > 0
+            assert spec.slots >= 1
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", DeviceClass.CPU, speed=-1.0)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", DeviceClass.CPU, speed=1.0, slots=0)
+
+    def test_nonpositive_memory_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", DeviceClass.CPU, speed=1.0, memory_gb=0)
+
+    def test_scaled_multiplies_speed(self):
+        spec = catalogue()["cpu-std"]
+        fast = spec.scaled(2.0, "cpu-2x")
+        assert fast.speed == spec.speed * 2.0
+        assert fast.name == "cpu-2x"
+        assert fast.device_class == spec.device_class
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            catalogue()["cpu-std"].scaled(0.0)
+
+    def test_device_class_str(self):
+        assert str(DeviceClass.GPU) == "gpu"
+
+
+class TestDevice:
+    def test_uid_includes_node_and_index(self):
+        d = make_device()
+        assert d.uid == "n0:cpu-std#0"
+
+    def test_duplicate_specs_get_distinct_indices(self):
+        spec = catalogue()["cpu-std"]
+        node = Node(NodeSpec.of("n0", [spec, spec]))
+        uids = [d.uid for d in node.devices]
+        assert len(set(uids)) == 2
+
+    def test_earliest_slot_initially_zero(self):
+        d = make_device()
+        slot, t = d.earliest_slot()
+        assert slot == 0
+        assert t == 0.0
+
+    def test_earliest_slot_respects_after(self):
+        d = make_device()
+        _slot, t = d.earliest_slot(after=5.0)
+        assert t == 5.0
+
+    def test_occupy_advances_slot(self):
+        d = make_device()
+        d.occupy(0, 1.0, 3.0)
+        _slot, t = d.earliest_slot()
+        assert t == 3.0
+        assert d.tasks_run == 1
+
+    def test_occupy_reversed_interval_rejected(self):
+        d = make_device()
+        with pytest.raises(ValueError):
+            d.occupy(0, 3.0, 1.0)
+
+    def test_occupy_bad_slot_rejected(self):
+        d = make_device()
+        with pytest.raises(IndexError):
+            d.occupy(5, 0.0, 1.0)
+
+    def test_busy_time_sums_intervals(self):
+        d = make_device()
+        d.occupy(0, 0.0, 2.0)
+        d.occupy(0, 3.0, 4.0)
+        assert d.busy_time() == pytest.approx(3.0)
+
+    def test_busy_time_clips_at_until(self):
+        d = make_device()
+        d.occupy(0, 0.0, 10.0)
+        assert d.busy_time(until=4.0) == pytest.approx(4.0)
+
+    def test_utilization(self):
+        d = make_device()
+        d.occupy(0, 0.0, 5.0)
+        assert d.utilization(10.0) == pytest.approx(0.5)
+        assert d.utilization(0.0) == 0.0
+
+    def test_reset_clears_everything(self):
+        d = make_device()
+        d.occupy(0, 0.0, 2.0)
+        d.failed = True
+        d.reset()
+        assert d.busy_time() == 0.0
+        assert not d.failed
+        assert d.tasks_run == 0
+
+    def test_multi_slot_earliest_picks_free_slot(self):
+        spec = DeviceSpec("multi", DeviceClass.CPU, speed=10.0, slots=2)
+        node = Node(NodeSpec.of("n0", [spec]))
+        d = node.devices[0]
+        d.occupy(0, 0.0, 10.0)
+        slot, t = d.earliest_slot()
+        assert slot == 1
+        assert t == 0.0

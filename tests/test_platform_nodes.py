@@ -1,0 +1,65 @@
+"""Tests for nodes."""
+
+import pytest
+
+from repro.platform.devices import DeviceClass, catalogue
+from repro.platform.nodes import Node, NodeSpec
+
+
+class TestNodeSpec:
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec.of("n0", [])
+
+    def test_nonpositive_bandwidth_rejected(self):
+        cat = catalogue()
+        with pytest.raises(ValueError):
+            NodeSpec.of("n0", [cat["cpu-std"]], disk_bandwidth=0.0)
+
+    def test_of_accepts_any_iterable(self):
+        cat = catalogue()
+        spec = NodeSpec.of("n0", iter([cat["cpu-std"]]))
+        assert len(spec.device_specs) == 1
+
+
+class TestNode:
+    def make(self):
+        cat = catalogue()
+        return Node(NodeSpec.of(
+            "n0", [cat["cpu-std"], cat["cpu-std"], cat["gpu-std"]]
+        ))
+
+    def test_device_instantiation(self):
+        node = self.make()
+        assert len(node.devices) == 3
+        assert node.name == "n0"
+
+    def test_devices_of_class(self):
+        node = self.make()
+        assert len(node.devices_of_class(DeviceClass.CPU)) == 2
+        assert len(node.devices_of_class(DeviceClass.GPU)) == 1
+        assert node.devices_of_class(DeviceClass.FPGA) == []
+
+    def test_classes_in_install_order(self):
+        node = self.make()
+        assert node.classes() == [DeviceClass.CPU, DeviceClass.GPU]
+
+    def test_device_lookup_by_uid(self):
+        node = self.make()
+        uid = node.devices[0].uid
+        assert node.device(uid) is node.devices[0]
+
+    def test_device_lookup_missing(self):
+        with pytest.raises(KeyError):
+            self.make().device("nope")
+
+    def test_reset_propagates(self):
+        node = self.make()
+        node.devices[0].occupy(0, 0.0, 1.0)
+        node.reset()
+        assert node.devices[0].busy_time() == 0.0
+
+    def test_bandwidth_shortcuts(self):
+        node = self.make()
+        assert node.disk_bandwidth == node.spec.disk_bandwidth
+        assert node.nic_bandwidth == node.spec.nic_bandwidth

@@ -1,0 +1,86 @@
+"""Tests for power and DVFS models."""
+
+import pytest
+
+from repro.platform.power import DvfsState, PowerModel, default_dvfs_ladder
+
+
+class TestDvfsState:
+    def test_valid_state(self):
+        s = DvfsState("p1", 0.8, 0.5)
+        assert s.freq_scale == 0.8
+
+    def test_bad_freq_scale_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsState("bad", 0.0, 0.5)
+        with pytest.raises(ValueError):
+            DvfsState("bad", 2.0, 0.5)
+
+    def test_bad_power_scale_rejected(self):
+        with pytest.raises(ValueError):
+            DvfsState("bad", 1.0, 0.0)
+
+    def test_default_ladder_monotone(self):
+        ladder = default_dvfs_ladder()
+        freqs = [s.freq_scale for s in ladder]
+        powers = [s.power_scale for s in ladder]
+        assert freqs == sorted(freqs, reverse=True)
+        assert powers == sorted(powers, reverse=True)
+        assert ladder[0].freq_scale == 1.0
+
+    def test_ladder_is_subcubic_power(self):
+        for s in default_dvfs_ladder():
+            assert s.power_scale <= s.freq_scale ** 2.5 + 0.01
+
+
+class TestPowerModel:
+    def test_defaults(self):
+        pm = PowerModel()
+        assert pm.busy_watts >= pm.idle_watts
+
+    def test_busy_below_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=100.0, busy_watts=50.0)
+
+    def test_negative_draw_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=-1.0)
+
+    def test_dynamic_watts(self):
+        pm = PowerModel(idle_watts=40.0, busy_watts=140.0)
+        assert pm.dynamic_watts == 100.0
+
+    def test_busy_power_with_state_scales_dynamic_only(self):
+        pm = PowerModel(idle_watts=40.0, busy_watts=140.0)
+        state = DvfsState("half", freq_scale=0.7, power_scale=0.5)
+        assert pm.busy_power(state) == pytest.approx(40.0 + 100.0 * 0.5)
+
+    def test_busy_power_without_state_is_full(self):
+        pm = PowerModel(idle_watts=40.0, busy_watts=140.0)
+        assert pm.busy_power() == 140.0
+
+    def test_idle_power_asleep(self):
+        pm = PowerModel(idle_watts=40.0, busy_watts=140.0, sleep_watts=1.0)
+        assert pm.idle_power() == 40.0
+        assert pm.idle_power(asleep=True) == 1.0
+
+    def test_energy_integration(self):
+        pm = PowerModel(idle_watts=10.0, busy_watts=110.0)
+        assert pm.energy(2.0, 3.0) == pytest.approx(110 * 2 + 10 * 3)
+
+    def test_energy_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().energy(-1.0, 0.0)
+
+    def test_state_lookup(self):
+        pm = PowerModel().with_dvfs()
+        assert pm.state("p2").name == "p2"
+        with pytest.raises(KeyError):
+            pm.state("p99")
+
+    def test_with_dvfs_preserves_draws(self):
+        pm = PowerModel(idle_watts=7.0, busy_watts=77.0)
+        upgraded = pm.with_dvfs()
+        assert upgraded.idle_watts == 7.0
+        assert upgraded.busy_watts == 77.0
+        assert len(upgraded.dvfs_states) == 4

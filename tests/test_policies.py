@@ -1,0 +1,94 @@
+"""Tests for execution policies."""
+
+import pytest
+
+from repro.core.executor import WorkflowExecutor
+from repro.core.policies import DynamicMctPolicy, StaticPolicy
+from repro.platform import presets
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.heft import HeftScheduler
+from repro.workflows.generators import montage
+
+
+@pytest.fixture
+def setup():
+    wf = montage(n_images=6, seed=4)
+    cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+    plan = HeftScheduler().schedule(SchedulingContext(wf, cluster))
+    return wf, cluster, plan
+
+
+class TestStaticPolicy:
+    def test_follows_planned_devices_without_noise(self, setup):
+        wf, cluster, plan = setup
+        cluster.reset()
+        executor = WorkflowExecutor(wf, cluster, StaticPolicy(plan))
+        result = executor.run()
+        assert result.success
+        for name, rec in result.records.items():
+            assert rec.device == plan.device_of(name)
+
+    def test_queues_built_in_plan_order(self, setup):
+        wf, cluster, plan = setup
+        cluster.reset()
+        policy = StaticPolicy(plan)
+        executor = WorkflowExecutor(wf, cluster, policy)
+        policy.prepare(executor)
+        for uid, queue in policy._queues.items():
+            assert queue == plan.tasks_on(uid)
+
+    def test_select_only_offers_ready_heads(self, setup):
+        wf, cluster, plan = setup
+        cluster.reset()
+        policy = StaticPolicy(plan)
+        executor = WorkflowExecutor(wf, cluster, policy)
+        policy.prepare(executor)
+        # before run() marks entries ready, nothing is dispatchable
+        assert policy.select(executor) == []
+
+    def test_no_repair_leaves_tasks_stranded(self, setup):
+        wf, cluster, plan = setup
+        cluster.reset()
+        policy = StaticPolicy(plan, repair=False)
+        executor = WorkflowExecutor(wf, cluster, policy)
+        policy.prepare(executor)
+        victim_uid = plan.devices_used()[0]
+        victim = cluster.device(victim_uid)
+        victim.failed = True
+        policy.on_device_failure(executor, victim)
+        assert victim_uid not in policy._queues
+
+
+class TestDynamicMctPolicy:
+    def test_prefers_fast_devices(self, setup):
+        wf, cluster, _plan = setup
+        cluster.reset()
+        executor = WorkflowExecutor(wf, cluster, DynamicMctPolicy())
+        result = executor.run()
+        assert result.success
+        # mProject tasks are strongly GPU-accelerable; with free choice the
+        # greedy mapper must put at least one on a GPU.
+        gpu_used = any(
+            "gpu" in rec.device for rec in result.records.values()
+            if rec.name.startswith("mProject")
+        )
+        assert gpu_used
+
+    def test_unranked_variant_completes(self, setup):
+        wf, cluster, _plan = setup
+        cluster.reset()
+        executor = WorkflowExecutor(wf, cluster, DynamicMctPolicy(ranked=False))
+        assert executor.run().success
+
+    def test_one_task_per_device_per_round(self, setup):
+        wf, cluster, _plan = setup
+        cluster.reset()
+        policy = DynamicMctPolicy()
+        executor = WorkflowExecutor(wf, cluster, policy)
+        policy.prepare(executor)
+        for name, preds in executor.unfinished_preds.items():
+            if not preds:
+                executor._mark_ready(name)
+        decisions = policy.select(executor)
+        devices = [d.uid for _t, d, _s in decisions]
+        assert len(devices) == len(set(devices))

@@ -1,0 +1,89 @@
+"""Additional property-based tests for platform and energy substrates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.carbon import CarbonIntensityTrace
+from repro.platform.cluster import Cluster
+from repro.platform.devices import catalogue
+from repro.platform.interconnect import Link
+from repro.platform.nodes import NodeSpec
+
+
+def two_node_cluster():
+    cat = catalogue()
+    return Cluster("p", [
+        NodeSpec.of("a", [cat["cpu-std"]]),
+        NodeSpec.of("b", [cat["cpu-std"]]),
+    ])
+
+
+@given(st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=100.0),
+              st.floats(min_value=0.01, max_value=500.0)),
+    min_size=1, max_size=30,
+))
+def test_link_reservations_never_overlap(requests):
+    link = Link("a", "b", bandwidth=100.0, latency=0.01)
+    intervals = []
+    for earliest, size in requests:
+        start, end = link.reserve(earliest, size)
+        assert start >= earliest
+        assert end > start
+        intervals.append((start, end))
+    intervals.sort()
+    for (s0, e0), (s1, _e1) in zip(intervals, intervals[1:]):
+        assert e0 <= s1 + 1e-9
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["a", "b"]),
+              st.floats(min_value=0.0, max_value=50.0),
+              st.floats(min_value=0.01, max_value=1000.0)),
+    min_size=1, max_size=25,
+))
+def test_staging_serializes_and_accounts(requests):
+    cluster = two_node_cluster()
+    total = 0.0
+    frontier = 0.0
+    for node, earliest, size in requests:
+        start, end = cluster.reserve_staging(node, earliest, size)
+        assert start >= frontier - 1e-9  # storage serves one stream at a time
+        frontier = end
+        total += size
+    assert cluster.storage_bytes_served_mb == pytest.approx(total)
+
+
+@given(st.floats(min_value=0.0, max_value=48.0))
+def test_carbon_interpolation_within_sample_bounds(hour):
+    trace = CarbonIntensityTrace.synthetic_solar()
+    values = [v for _h, v in trace.samples]
+    x = trace.intensity_at(hour)
+    assert min(values) - 1e-9 <= x <= max(values) + 1e-9
+
+
+@given(st.floats(min_value=10.0, max_value=5000.0),
+       st.floats(min_value=10.0, max_value=5000.0))
+def test_transfer_estimate_monotone_in_size(size_a, size_b):
+    cluster = two_node_cluster()
+    small, large = sorted((size_a, size_b))
+    assert cluster.transfer_estimate("a", "b", small) <= cluster.transfer_estimate(
+        "a", "b", large
+    ) + 1e-12
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=40))
+@settings(max_examples=15, deadline=None)
+def test_ensemble_merge_task_counts(n_members, seed):
+    from repro.workflows.ensemble import merge_workflows
+    from repro.workflows.generators import montage
+
+    members = {
+        f"m{i}": montage(n_images=3 + i, seed=seed + i)
+        for i in range(n_members)
+    }
+    merged = merge_workflows(members)
+    assert merged.n_tasks == sum(w.n_tasks for w in members.values())
+    assert merged.is_acyclic()

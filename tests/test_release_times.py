@@ -1,0 +1,101 @@
+"""Tests for online arrivals (release times) across the stack."""
+
+import pytest
+
+from repro import run_workflow
+from repro.core.ensemble import EnsembleMember, EnsembleRunner
+from repro.core.orchestrator import RunConfig
+from repro.platform import presets
+from repro.schedulers.base import SchedulingContext, eft_placement
+from repro.schedulers.heft import HeftScheduler
+from repro.schedulers.schedule import Schedule
+from repro.workflows.generators import blast, montage
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, cpu_task
+
+
+@pytest.fixture
+def chain_wf():
+    wf = Workflow("chain")
+    wf.add_file(DataFile("ab", 0.001))
+    wf.add_task(cpu_task("a", 10.0, outputs=("ab",)))
+    wf.add_task(cpu_task("b", 10.0, inputs=("ab",)))
+    return wf
+
+
+class TestContextReleases:
+    def test_eft_respects_release(self, chain_wf, cpu_cluster):
+        ctx = SchedulingContext(
+            chain_wf, cpu_cluster, release_times={"a": 7.0}
+        )
+        device = ctx.eligible_devices("a")[0]
+        start, _finish = eft_placement(ctx, Schedule(), "a", device)
+        assert start >= 7.0
+
+    def test_plan_honors_releases(self, chain_wf, cpu_cluster):
+        ctx = SchedulingContext(
+            chain_wf, cpu_cluster, release_times={"a": 5.0}
+        )
+        plan = HeftScheduler().schedule(ctx)
+        assert plan.assignments["a"].start >= 5.0
+        assert plan.assignments["b"].start >= plan.assignments["a"].finish
+
+    def test_no_release_means_zero(self, chain_wf, cpu_cluster):
+        ctx = SchedulingContext(chain_wf, cpu_cluster)
+        plan = HeftScheduler().schedule(ctx)
+        assert plan.assignments["a"].start < 1.0
+
+
+class TestExecutorReleases:
+    @pytest.mark.parametrize("mode", ["static", "dynamic", "adaptive"])
+    def test_task_never_starts_before_release(self, mode):
+        wf = montage(n_images=5, seed=1)
+        entry = wf.entry_tasks()[0]
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        result = run_workflow(
+            wf, cluster, mode=mode, seed=1,
+            release_times={entry: 3.0},
+        )
+        assert result.success
+        assert result.execution.records[entry].start >= 3.0
+
+    def test_release_delays_makespan(self):
+        wf = montage(n_images=5, seed=1)
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2)
+        free = run_workflow(wf, cluster, seed=1)
+        gated = run_workflow(
+            wf, cluster, seed=1,
+            release_times={t: 10.0 for t in wf.entry_tasks()},
+        )
+        assert gated.makespan >= 10.0
+        assert gated.makespan > free.makespan
+
+
+class TestOnlineEnsemble:
+    def test_arrivals_gate_members(self):
+        members = [
+            EnsembleMember("a", montage(size=20, seed=1), arrival=0.0),
+            EnsembleMember("b", blast(size=15, seed=2), arrival=8.0),
+        ]
+        runner = EnsembleRunner(
+            presets.hybrid_cluster(nodes=2), RunConfig(seed=1)
+        )
+        res = runner.run(members, discipline="online")
+        assert res.success
+        assert res.member_finish["b"] > 8.0
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleMember("x", montage(size=10, seed=1), arrival=-1.0)
+
+    def test_online_reduces_to_shared_when_all_zero(self):
+        members = [
+            EnsembleMember("a", montage(size=20, seed=1)),
+            EnsembleMember("b", blast(size=15, seed=2)),
+        ]
+        runner = EnsembleRunner(
+            presets.hybrid_cluster(nodes=2), RunConfig(seed=1)
+        )
+        online = runner.run(members, discipline="online")
+        shared = runner.run(members, discipline="shared")
+        assert online.makespan == pytest.approx(shared.makespan)

@@ -1,0 +1,98 @@
+"""Tests for hot task replication (first-of-k-finishers recovery)."""
+
+import pytest
+
+from repro import run_workflow
+from repro.faults.models import FaultModel
+from repro.faults.recovery import RecoveryPolicy
+from repro.platform import presets
+from repro.workflows.generators import cybershake, montage
+
+
+@pytest.fixture
+def faulty_setup():
+    wf = cybershake(n_variations=6, seed=1).scaled(3.0)
+    cluster = presets.hybrid_cluster(nodes=4)
+    return wf, cluster
+
+
+class TestReplication:
+    def test_completes_without_faults(self):
+        wf = montage(n_images=6, seed=1)
+        cluster = presets.hybrid_cluster(nodes=4)
+        result = run_workflow(
+            wf, cluster, seed=1,
+            recovery=RecoveryPolicy.replicated(2, retries=5),
+        )
+        assert result.success
+        # Replicas were launched and the losers preempted.
+        assert result.execution.preemptions > 0
+
+    def test_clones_bounded_by_policy(self):
+        wf = montage(n_images=6, seed=1)
+        cluster = presets.hybrid_cluster(nodes=4)
+        result = run_workflow(
+            wf, cluster, seed=1,
+            recovery=RecoveryPolicy.replicated(3, retries=5),
+        )
+        for rec in result.execution.records.values():
+            # one attempt each, at most 3 clones per attempt
+            assert rec.clones_launched <= 3 * rec.attempts
+
+    def test_replication_reduces_retries_under_faults(self, faulty_setup):
+        wf, cluster = faulty_setup
+        fm = FaultModel(task_fault_rate=0.3)
+        plain = run_workflow(
+            wf, cluster, seed=3, fault_model=fm,
+            recovery=RecoveryPolicy.retry(40),
+        )
+        replicated = run_workflow(
+            wf, cluster, seed=3, fault_model=fm,
+            recovery=RecoveryPolicy.replicated(3, retries=40),
+        )
+        assert plain.success and replicated.success
+        assert replicated.execution.retries < plain.execution.retries
+
+    def test_replication_costs_energy(self, faulty_setup):
+        wf, cluster = faulty_setup
+        plain = run_workflow(
+            wf, cluster, seed=3, recovery=RecoveryPolicy.retry(5),
+        )
+        replicated = run_workflow(
+            wf, cluster, seed=3,
+            recovery=RecoveryPolicy.replicated(3, retries=5),
+        )
+        assert replicated.energy.total_joules > plain.energy.total_joules
+
+    def test_single_device_cluster_degenerates_gracefully(self):
+        """With one device there is nothing to replicate onto."""
+        wf = montage(n_images=4, seed=1)
+        cluster = presets.cpu_cluster(nodes=1, cores_per_node=1)
+        result = run_workflow(
+            wf, cluster, seed=1,
+            recovery=RecoveryPolicy.replicated(3, retries=5),
+        )
+        assert result.success
+        assert result.execution.preemptions == 0
+
+    def test_outputs_registered_once(self, faulty_setup):
+        wf, cluster = faulty_setup
+        result = run_workflow(
+            wf, cluster, seed=2,
+            recovery=RecoveryPolicy.replicated(2, retries=5),
+        )
+        assert result.success
+        finishes = result.execution.trace.of_kind("task.finish")
+        finished_tasks = [r.get("task") for r in finishes]
+        assert len(finished_tasks) == len(set(finished_tasks))
+
+    def test_deterministic(self, faulty_setup):
+        wf, cluster = faulty_setup
+        pol = RecoveryPolicy.replicated(2, retries=10)
+        fm = FaultModel(task_fault_rate=0.2)
+        r1 = run_workflow(wf, cluster, seed=7, fault_model=fm, recovery=pol,
+                          noise_cv=0.2)
+        r2 = run_workflow(wf, cluster, seed=7, fault_model=fm, recovery=pol,
+                          noise_cv=0.2)
+        assert r1.makespan == r2.makespan
+        assert r1.execution.preemptions == r2.execution.preemptions

@@ -1,0 +1,106 @@
+"""Cross-cutting tests every scheduler must pass."""
+
+import pytest
+
+import repro.core  # noqa: F401  (registers hdws)
+from repro.platform import presets
+from repro.schedulers import REGISTRY, by_name
+from repro.schedulers.base import SchedulingContext
+from repro.workflows.generators import ligo_inspiral, montage, random_dag
+
+ALL = sorted(REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    """A few (workflow, cluster) contexts reused across the matrix."""
+    out = {}
+    cluster = presets.hybrid_cluster(nodes=2, cores_per_node=2, gpus_per_node=1)
+    out["montage"] = SchedulingContext(montage(n_images=6, seed=3), cluster)
+    out["ligo"] = SchedulingContext(
+        ligo_inspiral(n_segments=6, group_size=3, seed=3), cluster
+    )
+    out["random"] = SchedulingContext(
+        random_dag(n_tasks=40, ccr=1.0, seed=3), cluster
+    )
+    unrelated = presets.unrelated_cluster()
+    out["unrelated"] = SchedulingContext(montage(n_images=6, seed=3), unrelated)
+    return out
+
+
+@pytest.mark.parametrize("sched_name", ALL)
+@pytest.mark.parametrize("ctx_name", ["montage", "ligo", "random", "unrelated"])
+def test_produces_complete_valid_schedule(contexts, sched_name, ctx_name):
+    ctx = contexts[ctx_name]
+    schedule = by_name(sched_name).schedule(ctx)
+    schedule.validate_against(ctx.workflow)
+    assert schedule.makespan > 0
+
+
+@pytest.mark.parametrize("sched_name", ALL)
+def test_deterministic(contexts, sched_name):
+    ctx = contexts["montage"]
+    s1 = by_name(sched_name).schedule(ctx)
+    s2 = by_name(sched_name).schedule(ctx)
+    assert s1.makespan == s2.makespan
+    assert {t: a.device for t, a in s1.assignments.items()} == {
+        t: a.device for t, a in s2.assignments.items()
+    }
+
+
+@pytest.mark.parametrize("sched_name", ALL)
+def test_respects_eligibility(contexts, sched_name):
+    ctx = contexts["random"]  # mixes CPU-only and GPU-capable tasks
+    schedule = by_name(sched_name).schedule(ctx)
+    for name, a in schedule.assignments.items():
+        eligible = {d.uid for d in ctx.eligible_devices(name)}
+        assert a.device in eligible
+
+
+@pytest.mark.parametrize("sched_name", ALL)
+def test_makespan_at_least_best_critical_path(contexts, sched_name):
+    from repro.analysis.metrics import critical_path_best_time
+
+    ctx = contexts["ligo"]
+    schedule = by_name(sched_name).schedule(ctx)
+    assert schedule.makespan >= critical_path_best_time(ctx) - 1e-9
+
+
+@pytest.mark.parametrize("sched_name", ALL)
+def test_no_device_timeline_overlap(contexts, sched_name):
+    ctx = contexts["montage"]
+    schedule = by_name(sched_name).schedule(ctx)
+    for tl in schedule.timelines.values():
+        intervals = tl.intervals
+        for (s0, e0, _t0), (s1, _e1, _t1) in zip(intervals, intervals[1:]):
+            assert e0 <= s1 + 1e-9
+
+
+class TestQualityOrdering:
+    """The informed heuristics must beat the naive mappers."""
+
+    def test_heft_family_beats_naive(self, contexts):
+        ctx = contexts["ligo"]
+        heft = by_name("heft").schedule(ctx).makespan
+        rr = by_name("roundrobin").schedule(ctx).makespan
+        rand = by_name("random").schedule(ctx).makespan
+        assert heft < rr
+        assert heft < rand
+
+    def test_hdws_competitive_with_heft(self, contexts):
+        for ctx_name in ("montage", "ligo", "random"):
+            ctx = contexts[ctx_name]
+            hdws = by_name("hdws").schedule(ctx).makespan
+            heft = by_name("heft").schedule(ctx).makespan
+            assert hdws <= heft * 1.15
+
+    def test_mct_beats_olb(self, contexts):
+        ctx = contexts["ligo"]
+        assert (
+            by_name("mct").schedule(ctx).makespan
+            <= by_name("olb").schedule(ctx).makespan
+        )
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(KeyError):
+            by_name("quantum-annealer")

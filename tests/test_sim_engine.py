@@ -1,0 +1,213 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 3.0
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule_at(7.5, lambda: None)
+        sim.run()
+        assert sim.now == 7.5
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, 3)
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(2.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "second", priority=1)
+        sim.schedule(1.0, order.append, "first", priority=0)
+        sim.schedule(1.0, order.append, "third", priority=1)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 0.0
+
+    def test_callback_args_passed(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, 2)
+        sim.run()
+        assert got == [(1, 2)]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "nested"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_handle_active_until_fired(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        sim.run()
+        assert not handle.active
+
+    def test_clear_cancels_everything(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.clear()
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_late_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_can_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events_caps_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_fires_exactly_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step()
+        assert fired == [1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert not Simulator().step()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        cancelled = sim.schedule(3.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_fired == 2
+
+    def test_pending_excludes_tombstones(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def naughty():
+            sim.run()
+
+        sim.schedule(1.0, naughty)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_exception_in_callback_leaves_engine_usable(self):
+        sim = Simulator()
+
+        def boom():
+            raise ValueError("boom")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.run()
+        # The engine is not mid-run anymore and can drain the rest.
+        sim.run()
+        assert sim.now == 2.0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_orders(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i in range(50):
+                sim.schedule((i * 7) % 13 + 0.5, order.append, i)
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

@@ -1,0 +1,72 @@
+"""Tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a", x=1)
+        tr.record(2.0, "b", x=2)
+        assert [r.kind for r in tr] == ["a", "b"]
+        assert len(tr) == 2
+
+    def test_disabled_recorder_stores_nothing(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "a")
+        assert len(tr) == 0
+
+    def test_of_kind_filters_exactly(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "task.start")
+        tr.record(2.0, "task.start.extra")
+        assert len(tr.of_kind("task.start")) == 1
+
+    def test_matching_predicate(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x", v=1)
+        tr.record(2.0, "x", v=5)
+        heavy = tr.matching(lambda r: r.get("v", 0) > 2)
+        assert len(heavy) == 1
+        assert heavy[0].get("v") == 5
+
+    def test_kinds_histogram(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.record(2.0, "a")
+        tr.record(3.0, "b")
+        assert tr.kinds() == {"a": 2, "b": 1}
+
+    def test_first_and_last(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a", i=1)
+        tr.record(2.0, "a", i=2)
+        assert tr.first("a").get("i") == 1
+        assert tr.last("a").get("i") == 2
+        assert tr.first("zzz") is None
+        assert tr.last("zzz") is None
+
+    def test_span(self):
+        tr = TraceRecorder()
+        assert tr.span() == 0.0
+        tr.record(1.0, "a")
+        tr.record(4.5, "b")
+        assert tr.span() == 3.5
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_record_payload_accessor_default(self):
+        rec = TraceRecord(1.0, "k", {"a": 1})
+        assert rec.get("a") == 1
+        assert rec.get("missing", 9) == 9
+
+    def test_records_returns_copy(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        copy = tr.records
+        copy.clear()
+        assert len(tr) == 1

@@ -1,0 +1,102 @@
+"""Tests for structured interconnect topologies."""
+
+import pytest
+
+from repro.platform.topologies import (
+    TOPOLOGIES,
+    by_name,
+    dragonfly,
+    fat_tree,
+    torus_2d,
+)
+
+NAMES8 = [f"n{i}" for i in range(8)]
+
+
+class TestFatTree:
+    def test_intra_pod_cheaper_than_inter_pod(self):
+        net = fat_tree(NAMES8, pod_size=4)
+        intra = net.nominal_time("n0", "n1", 100.0)
+        inter = net.nominal_time("n0", "n4", 100.0)
+        assert intra < inter
+
+    def test_oversubscription_tapers_bandwidth(self):
+        net = fat_tree(NAMES8, pod_size=4, edge_bandwidth=1000.0,
+                       oversubscription=4.0)
+        assert net.link("n0", "n1").bandwidth == 1000.0
+        assert net.link("n0", "n4").bandwidth == 250.0
+
+    def test_hop_latency(self):
+        net = fat_tree(NAMES8, pod_size=4, per_hop_latency=1e-3)
+        assert net.link("n0", "n1").latency == pytest.approx(2e-3)
+        assert net.link("n0", "n4").latency == pytest.approx(4e-3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fat_tree(NAMES8, pod_size=0)
+        with pytest.raises(ValueError):
+            fat_tree(NAMES8, oversubscription=0.5)
+
+
+class TestTorus:
+    def test_neighbour_vs_diagonal(self):
+        net = torus_2d([f"n{i}" for i in range(16)], width=4,
+                       per_hop_latency=1e-3)
+        # (0,0) -> (1,0): 1 hop.  (0,0) -> (2,2): 4 hops.
+        assert net.link("n0", "n1").latency == pytest.approx(1e-3)
+        assert net.link("n0", "n10").latency == pytest.approx(4e-3)
+
+    def test_wraparound_shortens_paths(self):
+        net = torus_2d([f"n{i}" for i in range(16)], width=4,
+                       per_hop_latency=1e-3)
+        # (0,0) -> (3,0) wraps: 1 hop, not 3.
+        assert net.link("n0", "n3").latency == pytest.approx(1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            torus_2d([])
+
+
+class TestDragonfly:
+    def test_local_fast_global_slow(self):
+        net = dragonfly(NAMES8, group_size=4, local_bandwidth=2000.0,
+                        global_bandwidth=500.0, per_hop_latency=1e-3)
+        local = net.link("n0", "n1")
+        glob = net.link("n0", "n4")
+        assert local.bandwidth == 2000.0
+        assert glob.bandwidth == 500.0
+        assert local.latency == pytest.approx(1e-3)
+        assert glob.latency == pytest.approx(3e-3)
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            dragonfly(NAMES8, group_size=0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+    def test_every_topology_builds_full_mesh_of_links(self, name):
+        net = by_name(name, NAMES8)
+        for a in NAMES8:
+            for b in NAMES8:
+                if a != b:
+                    assert net.has_link(a, b)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            by_name("moebius", NAMES8)
+
+    def test_usable_in_cluster(self):
+        from repro import run_workflow
+        from repro.platform.cluster import Cluster
+        from repro.platform.devices import catalogue
+        from repro.platform.nodes import NodeSpec
+        from repro.workflows.generators import montage
+
+        cat = catalogue()
+        specs = [NodeSpec.of(n, [cat["cpu-std"], cat["gpu-std"]])
+                 for n in NAMES8]
+        cluster = Cluster("ft", specs,
+                          interconnect=fat_tree(NAMES8, pod_size=4))
+        result = run_workflow(montage(size=30, seed=1), cluster, seed=1)
+        assert result.success

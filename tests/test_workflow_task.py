@@ -1,0 +1,95 @@
+"""Tests for tasks and data files."""
+
+import pytest
+
+from repro.platform.devices import DeviceClass
+from repro.workflows.task import (
+    DataFile,
+    Task,
+    accelerable_task,
+    cpu_task,
+    gpu_task,
+)
+
+
+class TestDataFile:
+    def test_basic(self):
+        f = DataFile("x", 10.0)
+        assert not f.initial
+        assert f.location is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataFile("x", -1.0)
+
+    def test_location_requires_initial(self):
+        DataFile("ok", 1.0, initial=True, location="n0")
+        with pytest.raises(ValueError):
+            DataFile("bad", 1.0, initial=False, location="n0")
+
+    def test_frozen(self):
+        f = DataFile("x", 1.0)
+        with pytest.raises(Exception):
+            f.size_mb = 2.0
+
+
+class TestTask:
+    def test_defaults(self):
+        t = Task("t", 10.0)
+        assert t.category == "generic"
+        assert t.inputs == ()
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", -1.0)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", 1.0, memory_gb=-1.0)
+
+    def test_negative_affinity_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", 1.0, affinity={DeviceClass.GPU: -2.0})
+
+    def test_sequences_normalized_to_tuples(self):
+        t = Task("t", 1.0, inputs=["a"], outputs=["b"])
+        assert t.inputs == ("a",)
+        assert t.outputs == ("b",)
+
+    def test_affinity_for_cpu_defaults_to_one(self):
+        t = Task("t", 1.0)
+        assert t.affinity_for(DeviceClass.CPU) == 1.0
+        assert t.affinity_for(DeviceClass.GPU) == 0.0
+
+    def test_affinity_for_explicit_entries(self):
+        t = Task("t", 1.0, affinity={DeviceClass.GPU: 5.0,
+                                     DeviceClass.CPU: 0.5})
+        assert t.affinity_for(DeviceClass.GPU) == 5.0
+        assert t.affinity_for(DeviceClass.CPU) == 0.5
+
+    def test_eligible_classes(self):
+        t = gpu_task("t", 1.0)
+        assert DeviceClass.CPU in t.eligible_classes()
+        assert DeviceClass.GPU in t.eligible_classes()
+        assert DeviceClass.FPGA not in t.eligible_classes()
+
+    def test_accelerable_property(self):
+        assert gpu_task("t", 1.0, gpu_speedup=2.0).accelerable
+        assert not cpu_task("t", 1.0).accelerable
+        # GPU eligible at parity is not "accelerable".
+        t = Task("t", 1.0, affinity={DeviceClass.GPU: 1.0})
+        assert not t.accelerable
+
+    def test_with_work_preserves_everything_else(self):
+        t = accelerable_task("t", 10.0, gpu=3.0, inputs=(), outputs=(),
+                             category="stage", memory_gb=4.0)
+        t2 = t.with_work(20.0)
+        assert t2.work == 20.0
+        assert t2.category == "stage"
+        assert t2.affinity == t.affinity
+        assert t2.memory_gb == 4.0
+
+    def test_accelerable_task_constructor_drops_zeros(self):
+        t = accelerable_task("t", 1.0, gpu=5.0, fpga=0.0, dsp=2.0)
+        assert DeviceClass.FPGA not in t.affinity
+        assert t.affinity[DeviceClass.DSP] == 2.0
