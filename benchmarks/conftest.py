@@ -8,12 +8,16 @@ fall).  Run with::
     pytest benchmarks/ --benchmark-only
 
 Set ``REPRO_FULL=1`` to run the experiments at full paper scale instead of
-the quick CI scale.
+the quick CI scale.  ``REPRO_JOBS=N`` fans simulation cells out over N
+worker processes and ``REPRO_CACHE_DIR=PATH`` memoizes completed cells on
+disk (see ``repro.runner``); both default to serial/no-cache.
 """
 
 import os
 
 import pytest
+
+from repro.runner import runner_from_env, use_runner
 
 
 @pytest.fixture(scope="session")
@@ -22,16 +26,23 @@ def quick() -> bool:
     return os.environ.get("REPRO_FULL", "0") != "1"
 
 
+@pytest.fixture(scope="session")
+def campaign_runner():
+    """One REPRO_JOBS/REPRO_CACHE_DIR-configured runner for the session."""
+    return runner_from_env()
+
+
 @pytest.fixture
-def run_experiment(benchmark, quick):
+def run_experiment(benchmark, quick, campaign_runner):
     """Run an experiment under pytest-benchmark timing (one round)."""
 
     def _run(runner, **kwargs):
         kwargs.setdefault("quick", quick)
         kwargs.setdefault("seed", 0)
-        result = benchmark.pedantic(
-            lambda: runner(**kwargs), rounds=1, iterations=1,
-        )
+        with use_runner(campaign_runner):
+            result = benchmark.pedantic(
+                lambda: runner(**kwargs), rounds=1, iterations=1,
+            )
         print()
         print(result.render())
         return result

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-2 determinism gate (referenced from ROADMAP.md).
+#
+# Proves the campaign-runner contract end to end:
+#   1. the determinism suite — --jobs 4 == --jobs 1 == warm cache for the
+#      representative experiments, plus runner/cache/spec unit properties;
+#   2. the golden-regression grid — pinned suite x scheduler makespans;
+#   3. a live CLI cross-check — `repro-flow exp t1` rendered under
+#      --jobs 1, --jobs 4 and a warm cache must be byte-identical.
+#
+# Usage: bash scripts/check_determinism.sh   (from the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== determinism + runner + golden test suites =="
+python -m pytest -q \
+    tests/test_runner_determinism.py \
+    tests/test_runner_pool.py \
+    tests/test_runner_hashing.py \
+    tests/test_runner_cache.py \
+    tests/test_runner_specs.py \
+    tests/test_suite_seeding.py \
+    tests/test_golden_regression.py
+
+echo "== CLI cross-check: jobs=1 vs jobs=4 vs warm cache =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+python -m repro.cli exp t1 --jobs 1 > "$workdir/serial.txt"
+python -m repro.cli exp t1 --jobs 4 --cache-dir "$workdir/cache" > "$workdir/parallel.txt"
+python -m repro.cli exp t1 --jobs 4 --cache-dir "$workdir/cache" > "$workdir/warm.txt"
+
+diff "$workdir/serial.txt" "$workdir/parallel.txt" \
+    || { echo "FAIL: --jobs 4 diverged from --jobs 1" >&2; exit 1; }
+diff "$workdir/serial.txt" "$workdir/warm.txt" \
+    || { echo "FAIL: warm-cache rerun diverged" >&2; exit 1; }
+
+echo "determinism gate: OK"

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression fixture (tests/golden/makespans.json).
+
+Run after an *intentional* change to scheduler numerics::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+then eyeball the diff before committing — every changed number is a
+behaviour change somebody must be able to defend in review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner.campaign import (  # noqa: E402
+    GOLDEN_NOISE_CV,
+    GOLDEN_SCHEDULERS,
+    GOLDEN_SEED,
+    GOLDEN_SIZE,
+    golden_makespans,
+)
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "golden", "makespans.json"
+)
+
+
+def main() -> int:
+    doc = {
+        "_comment": (
+            "Pinned makespans of the golden suite x scheduler grid; "
+            "regenerate with scripts/regen_golden.py after intentional "
+            "numeric changes."
+        ),
+        "size": GOLDEN_SIZE,
+        "seed": GOLDEN_SEED,
+        "noise_cv": GOLDEN_NOISE_CV,
+        "schedulers": list(GOLDEN_SCHEDULERS),
+        "makespans": golden_makespans(),
+    }
+    os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    with open(FIXTURE, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    n = sum(len(v) for v in doc["makespans"].values())
+    print(f"wrote {n} golden makespans to {os.path.normpath(FIXTURE)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

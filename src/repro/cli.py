@@ -8,8 +8,14 @@ Subcommands:
   comparison table.
 * ``exp`` — run one of the paper's experiments (t1..t5, f1..f7) and print
   its tables/series.
+* ``campaign`` — run several experiments through one shared process pool
+  and result cache, printing a timing/cache summary.
 * ``generate`` — emit a workflow as JSON for inspection or reuse.
 * ``list`` — show available workflows, schedulers, presets, experiments.
+
+``exp`` and ``campaign`` accept ``--jobs N`` (process-pool width) and
+``--cache-dir PATH`` (on-disk memoization of simulation cells; delete the
+directory to invalidate).
 """
 
 from __future__ import annotations
@@ -89,11 +95,54 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _campaign_runner(args):
+    """A CampaignRunner honouring --jobs / --cache-dir / --no-cache."""
+    from repro.runner import CampaignRunner, ResultCache
+
+    cache = None
+    if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
+        cache = ResultCache(args.cache_dir)
+    return CampaignRunner(jobs=max(args.jobs, 1), cache=cache)
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation cells")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir and recompute everything")
+
+
 def cmd_exp(args) -> int:
     """Run one paper experiment and print its rendering."""
+    from repro.runner import use_runner
+
     runner = EXPERIMENTS[args.id]
-    result = runner(quick=not args.full, seed=args.seed)
+    with use_runner(_campaign_runner(args)):
+        result = runner(quick=not args.full, seed=args.seed)
     print(result.render())
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run several experiments through one shared pool + cache."""
+    from repro.runner import run_campaign
+
+    ids = args.ids.split(",") if args.ids else sorted(EXPERIMENTS)
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id!r}; see `repro-flow list`",
+                  file=sys.stderr)
+            return 2
+    report = run_campaign(
+        ids, runner=_campaign_runner(args),
+        quick=not args.full, seed=args.seed,
+    )
+    for exp_id in ids:
+        print(report.results[exp_id].render())
+        print()
+    print(report.render_summary())
     return 0
 
 
@@ -180,7 +229,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--full", action="store_true",
                        help="full-size run (slower)")
     p_exp.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(p_exp)
     p_exp.set_defaults(func=cmd_exp)
+
+    p_camp = sub.add_parser(
+        "campaign", help="run several experiments via one pool + cache"
+    )
+    p_camp.add_argument(
+        "ids", nargs="?", default=None,
+        help="comma-separated experiment ids (default: all)",
+    )
+    p_camp.add_argument("--full", action="store_true",
+                        help="full-size runs (slower)")
+    p_camp.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(p_camp)
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_gen = sub.add_parser("generate", help="emit a workflow as JSON")
     p_gen.add_argument("--workflow", default="montage",

@@ -14,8 +14,12 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.analysis.metrics import speedup
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import (
+    ExperimentResult,
+    make_job,
+    preset_spec,
+    run_sims,
+)
 from repro.platform import presets
 from repro.workflows.generators import montage
 
@@ -29,18 +33,30 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     sizes = (1, 2, 4, 8) if quick else (1, 2, 4, 8, 16, 32)
     wf = montage(size=80 if quick else 200, seed=seed)
 
+    cells = [
+        (nodes, sched,
+         make_job(wf,
+                  preset_spec("hybrid", nodes=nodes, cores_per_node=4,
+                              gpus_per_node=1),
+                  scheduler=sched, seed=seed, noise_cv=noise_cv,
+                  label=f"f1:{nodes}n:{sched}"))
+        for nodes in sizes
+        for sched in SCHEDULERS
+    ]
+    records = run_sims([job for _, _, job in cells])
+
+    # The speedup baseline (fastest-CPU serial time) needs the concrete
+    # platform; rebuild each size once locally — construction is cheap.
+    clusters = {
+        nodes: presets.hybrid_cluster(nodes=nodes, cores_per_node=4,
+                                      gpus_per_node=1)
+        for nodes in sizes
+    }
     series: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}
-    for nodes in sizes:
-        cluster = presets.hybrid_cluster(
-            nodes=nodes, cores_per_node=4, gpus_per_node=1
+    for (nodes, sched, _job), record in zip(cells, records):
+        series[sched][float(nodes)] = speedup(
+            record.makespan, wf, clusters[nodes], cpu_only=True
         )
-        for sched in SCHEDULERS:
-            result = run_workflow(
-                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
-            )
-            series[sched][float(nodes)] = speedup(
-                result.makespan, wf, cluster, cpu_only=True
-            )
 
     notes = {
         "saturation": {

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult, default_cluster
+from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
+    ExperimentResult,
+    make_job,
+    run_sims,
+)
 from repro.workflows.generators import random_dag
+from repro.workflows.serialize import workflow_to_dict
 
 SCHEDULERS = ("hdws", "heft", "minmin", "mct", "olb")
 CCRS_QUICK = (0.1, 1.0, 5.0)
@@ -28,15 +33,19 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     ccrs = CCRS_QUICK if quick else CCRS_FULL
     n_tasks = 50 if quick else 100
 
-    series: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}
-    cluster = default_cluster()
+    cells = []
     for ccr in ccrs:
-        wf = random_dag(n_tasks=n_tasks, ccr=ccr, seed=seed)
+        doc = workflow_to_dict(random_dag(n_tasks=n_tasks, ccr=ccr, seed=seed))
         for sched in SCHEDULERS:
-            result = run_workflow(
-                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
-            )
-            series[sched][ccr] = result.makespan
+            cells.append((ccr, sched, make_job(
+                doc, DEFAULT_CLUSTER_SPEC, scheduler=sched, seed=seed,
+                noise_cv=noise_cv, label=f"f2:ccr{ccr}:{sched}",
+            )))
+    records = run_sims([job for _, _, job in cells])
+
+    series: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}
+    for (ccr, sched, _job), record in zip(cells, records):
+        series[sched][ccr] = record.makespan
 
     # Normalize each point to HDWS so the figure reads as relative cost.
     normalized: Dict[str, Dict[float, float]] = {s: {} for s in SCHEDULERS}

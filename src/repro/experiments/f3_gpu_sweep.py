@@ -12,9 +12,15 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult, quick_params, suite_workflows
+from repro.experiments.common import (
+    ExperimentResult,
+    make_job,
+    quick_params,
+    run_sims,
+    suite_workflows,
+)
 from repro.platform import presets
+from repro.runner.specs import factory_spec
 
 
 def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
@@ -23,14 +29,21 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     gpu_counts = (0, 1, 2, 4) if quick else (0, 1, 2, 4, 6, 8)
     workflows = suite_workflows(size=params["size"], seed=seed)
 
+    cells = [
+        (gpus, wname,
+         make_job(wf,
+                  factory_spec(presets.gpu_count_cluster, gpus, nodes=4,
+                               cores_per_node=4),
+                  scheduler="hdws", seed=seed, noise_cv=noise_cv,
+                  label=f"f3:{gpus}g:{wname}"))
+        for gpus in gpu_counts
+        for wname, wf in workflows.items()
+    ]
+    records = run_sims([job for _, _, job in cells])
+
     series: Dict[str, Dict[float, float]] = {w: {} for w in workflows}
-    for gpus in gpu_counts:
-        cluster = presets.gpu_count_cluster(gpus, nodes=4, cores_per_node=4)
-        for wname, wf in workflows.items():
-            result = run_workflow(
-                wf, cluster, scheduler="hdws", seed=seed, noise_cv=noise_cv
-            )
-            series[wname][float(gpus)] = result.makespan
+    for (gpus, wname, _job), record in zip(cells, records):
+        series[wname][float(gpus)] = record.makespan
 
     marginal = {}
     for wname, vals in series.items():

@@ -14,9 +14,14 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult, default_cluster
+from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
+    ExperimentResult,
+    make_job,
+    run_sims,
+)
 from repro.workflows.generators import montage
+from repro.workflows.serialize import workflow_to_dict
 
 MODES = ("static", "dynamic", "adaptive")
 
@@ -27,21 +32,26 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.2) -> ExperimentR
 
     errors = (0.0, 0.5, 1.5) if quick else (0.0, 0.25, 0.5, 1.0, 1.5, 2.0)
     reps = 2 if quick else 5
-    wf = montage(size=40 if quick else 100, seed=seed)
-    cluster = default_cluster()
+    doc = workflow_to_dict(montage(size=40 if quick else 100, seed=seed))
 
-    series: Dict[str, Dict[float, float]] = {m: {} for m in MODES}
-    for err in errors:
-        for mode in MODES:
-            total = 0.0
-            for rep in range(reps):
-                result = run_workflow(
-                    wf, cluster, scheduler="hdws", mode=mode,
-                    seed=seed + rep, noise_cv=noise_cv,
-                    estimate_error_cv=err,
-                )
-                total += result.makespan
-            series[mode][err] = total / reps
+    cells = [
+        (err, mode,
+         make_job(doc, DEFAULT_CLUSTER_SPEC, scheduler="hdws", mode=mode,
+                  seed=seed + rep, noise_cv=noise_cv, estimate_error_cv=err,
+                  label=f"f4:err{err}:{mode}:rep{rep}"))
+        for err in errors
+        for mode in MODES
+        for rep in range(reps)
+    ]
+    records = run_sims([job for _, _, job in cells])
+
+    totals: Dict[str, Dict[float, float]] = {m: {} for m in MODES}
+    for (err, mode, _job), record in zip(cells, records):
+        totals[mode][err] = totals[mode].get(err, 0.0) + record.makespan
+    series = {
+        mode: {err: total / reps for err, total in vals.items()}
+        for mode, vals in totals.items()
+    }
 
     degradation = {
         m: series[m][errors[-1]] / series[m][errors[0]] for m in MODES

@@ -14,19 +14,27 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult, default_cluster
+from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
+    ExperimentResult,
+    make_job,
+    run_sims,
+)
 from repro.faults.models import FaultModel
 from repro.faults.recovery import RecoveryPolicy
+from repro.runner.specs import factory_spec
 from repro.workflows.generators import cybershake
+from repro.workflows.serialize import workflow_to_dict
 
 
 def policies():
-    """(label, policy) pairs of the F5 curves."""
+    """(label, policy spec) pairs of the F5 curves."""
     return [
-        ("retry", RecoveryPolicy.retry(25)),
-        ("ckpt-fine", RecoveryPolicy.checkpoint(0.5, overhead=0.05, retries=25)),
-        ("ckpt-coarse", RecoveryPolicy.checkpoint(2.0, overhead=0.02, retries=25)),
+        ("retry", factory_spec(RecoveryPolicy.retry, 25)),
+        ("ckpt-fine",
+         factory_spec(RecoveryPolicy.checkpoint, 0.5, overhead=0.05, retries=25)),
+        ("ckpt-coarse",
+         factory_spec(RecoveryPolicy.checkpoint, 2.0, overhead=0.02, retries=25)),
     ]
 
 
@@ -38,36 +46,49 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     reps = 2 if quick else 5
     # Scale work 4x so individual syntheses run for seconds: a mid-task
     # crash then costs real progress and checkpoints have work to save.
-    wf = cybershake(size=30 if quick else 60, seed=seed).scaled(4.0)
-    cluster = default_cluster()
+    doc = workflow_to_dict(cybershake(size=30 if quick else 60, seed=seed).scaled(4.0))
 
-    series: Dict[str, Dict[float, float]] = {label: {} for label, _ in policies()}
-    success_none: Dict[float, float] = {}
-    for rate in rates:
-        fm = FaultModel(task_fault_rate=rate)
-        for label, policy in policies():
-            total = 0.0
-            for rep in range(reps):
-                result = run_workflow(
-                    wf, cluster, scheduler="hdws", seed=seed + rep,
-                    noise_cv=noise_cv, fault_model=fm, recovery=policy,
-                )
-                if not result.success:
-                    # Retry budget blown: count the partial run's span but
-                    # flag it; at the swept rates this should be rare.
-                    pass
-                total += result.makespan
-            series[label][rate] = total / reps
+    policy_cells = [
+        (rate, label,
+         make_job(doc, DEFAULT_CLUSTER_SPEC, scheduler="hdws",
+                  seed=seed + rep, noise_cv=noise_cv,
+                  fault_model=factory_spec(FaultModel, task_fault_rate=rate),
+                  recovery=policy,
+                  label=f"f5:rate{rate}:{label}:rep{rep}"))
+        for rate in rates
+        for label, policy in policies()
+        for rep in range(reps)
+    ]
+    none_cells = [
+        (rate,
+         make_job(doc, DEFAULT_CLUSTER_SPEC, scheduler="hdws",
+                  seed=seed + 100 + rep, noise_cv=noise_cv,
+                  fault_model=factory_spec(FaultModel, task_fault_rate=rate),
+                  recovery=factory_spec(RecoveryPolicy.none),
+                  label=f"f5:rate{rate}:none:rep{rep}"))
+        for rate in rates
+        for rep in range(reps * 2)
+    ]
+    records = run_sims(
+        [job for _, _, job in policy_cells] + [job for _, job in none_cells]
+    )
+    policy_records = records[: len(policy_cells)]
+    none_records = records[len(policy_cells):]
 
-        ok = 0
-        for rep in range(reps * 2):
-            result = run_workflow(
-                wf, cluster, scheduler="hdws", seed=seed + 100 + rep,
-                noise_cv=noise_cv, fault_model=fm,
-                recovery=RecoveryPolicy.none(),
-            )
-            ok += 1 if result.success else 0
-        success_none[rate] = ok / (reps * 2)
+    totals: Dict[str, Dict[float, float]] = {label: {} for label, _ in policies()}
+    for (rate, label, _job), record in zip(policy_cells, policy_records):
+        # A blown retry budget still counts the partial run's span (it is
+        # rare at the swept rates), matching the historical accounting.
+        totals[label][rate] = totals[label].get(rate, 0.0) + record.makespan
+    series = {
+        label: {rate: total / reps for rate, total in vals.items()}
+        for label, vals in totals.items()
+    }
+
+    ok_counts: Dict[float, int] = {rate: 0 for rate in rates}
+    for (rate, _job), record in zip(none_cells, none_records):
+        ok_counts[rate] += 1 if record.success else 0
+    success_none = {rate: ok / (reps * 2) for rate, ok in ok_counts.items()}
 
     base = {label: vals[0.0] for label, vals in series.items()}
     worst = {label: max(vals.values()) / base[label] for label, vals in series.items()}

@@ -12,17 +12,22 @@ moves the most.
 from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
-from repro.core.api import run_workflow
 from repro.core.hdws import HdwsScheduler
-from repro.experiments.common import ExperimentResult, default_cluster
+from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
+    ExperimentResult,
+    make_job,
+    run_sims,
+)
+from repro.runner.specs import factory_spec
 from repro.workflows.generators import epigenomics, montage
 
 
 def lineup():
-    """(label, scheduler) pairs of the F6 bars."""
+    """(label, scheduler spec) pairs of the F6 bars."""
     return [
-        ("hdws", HdwsScheduler()),
-        ("hdws-noloc", HdwsScheduler(use_locality=False)),
+        ("hdws", factory_spec(HdwsScheduler)),
+        ("hdws-noloc", factory_spec(HdwsScheduler, use_locality=False)),
         ("heft", "heft"),
         ("minmin", "minmin"),
     ]
@@ -35,20 +40,21 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
         "montage": montage(size=size, seed=seed),
         "epigenomics": epigenomics(size=size, seed=seed + 1),
     }
-    cluster = default_cluster()
+
+    cells = [
+        (wname, label,
+         make_job(wf, DEFAULT_CLUSTER_SPEC, scheduler=sched, seed=seed,
+                  noise_cv=noise_cv, label=f"f6:{wname}:{label}"))
+        for wname, wf in workflows.items()
+        for label, sched in lineup()
+    ]
+    records = run_sims([job for _, _, job in cells])
 
     traffic = ComparisonTable("workflow")
     makespan = ComparisonTable("workflow")
-    for wname, wf in workflows.items():
-        for label, sched in lineup():
-            result = run_workflow(
-                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
-            )
-            traffic.set(
-                wname, label,
-                result.execution.network_mb + result.execution.staging_mb,
-            )
-            makespan.set(wname, label, result.makespan)
+    for (wname, label, _job), record in zip(cells, records):
+        traffic.set(wname, label, record.data_moved_mb)
+        makespan.set(wname, label, record.makespan)
 
     savings = {}
     for wname in workflows:

@@ -13,10 +13,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.api import run_workflow
 from repro.energy.governor import DeepSleepGovernor
-from repro.experiments.common import ExperimentResult
-from repro.platform import presets
+from repro.experiments.common import (
+    ExperimentResult,
+    make_job,
+    preset_spec,
+    run_sims,
+)
+from repro.runner.specs import factory_spec
 from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
 from repro.workflows.generators import ligo_inspiral
 
@@ -25,21 +29,26 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     """Run the F7 alpha sweep; makespan and energy series over alpha."""
     alphas = (0.0, 0.5, 1.0) if quick else (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
     wf = ligo_inspiral(size=40 if quick else 100, seed=seed)
-    governor = DeepSleepGovernor(threshold_s=1.0)
+    governor = factory_spec(DeepSleepGovernor, threshold_s=1.0)
+    cluster = preset_spec(
+        "hybrid", nodes=4, cores_per_node=4, gpus_per_node=1, dvfs=True
+    )
+
+    cells = [
+        (alpha,
+         make_job(wf, cluster,
+                  scheduler=factory_spec(EnergyAwareHeftScheduler, alpha=alpha),
+                  seed=seed, noise_cv=noise_cv, governor=governor,
+                  label=f"f7:alpha{alpha}"))
+        for alpha in alphas
+    ]
+    records = run_sims([job for _, job in cells])
 
     makespan: Dict[float, float] = {}
     energy: Dict[float, float] = {}
-    for alpha in alphas:
-        cluster = presets.hybrid_cluster(
-            nodes=4, cores_per_node=4, gpus_per_node=1, dvfs=True
-        )
-        result = run_workflow(
-            wf, cluster,
-            scheduler=EnergyAwareHeftScheduler(alpha=alpha),
-            seed=seed, noise_cv=noise_cv, governor=governor,
-        )
-        makespan[alpha] = result.makespan
-        energy[alpha] = result.energy.total_joules
+    for (alpha, _job), record in zip(cells, records):
+        makespan[alpha] = record.makespan
+        energy[alpha] = record.energy_j
 
     front: List[Tuple[float, float, float]] = sorted(
         (makespan[a], energy[a], a) for a in alphas

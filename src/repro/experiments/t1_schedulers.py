@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
 from repro.analysis.metrics import schedule_length_ratio
-from repro.core.api import run_workflow
 from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
     ExperimentResult,
     T1_SCHEDULERS,
     default_cluster,
+    make_job,
     quick_params,
+    run_sims,
     suite_workflows,
 )
 from repro.schedulers.base import SchedulingContext
@@ -38,19 +40,29 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     else:
         schedulers = T1_SCHEDULERS + ("lookahead-heft", "annealing")
 
+    cells = [
+        (wname, sched,
+         make_job(wf, DEFAULT_CLUSTER_SPEC, scheduler=sched, seed=seed,
+                  noise_cv=noise_cv, label=f"t1:{wname}:{sched}"))
+        for wname, wf in workflows.items()
+        for sched in schedulers
+    ]
+    records = run_sims([job for _, _, job in cells])
+
     makespans = ComparisonTable("workflow")
     slrs = ComparisonTable("workflow")
     cluster = default_cluster()
-    for wname, wf in workflows.items():
-        context = SchedulingContext(wf, cluster)
-        for sched in schedulers:
-            result = run_workflow(
-                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
-            )
-            if not result.success:  # pragma: no cover - should not happen
-                raise RuntimeError(f"{sched} failed on {wname}")
-            makespans.set(wname, sched, result.makespan)
-            slrs.set(wname, sched, schedule_length_ratio(result.makespan, context))
+    contexts = {
+        wname: SchedulingContext(wf, cluster)
+        for wname, wf in workflows.items()
+    }
+    for (wname, sched, _job), record in zip(cells, records):
+        if not record.success:  # pragma: no cover - should not happen
+            raise RuntimeError(f"{sched} failed on {wname}")
+        makespans.set(wname, sched, record.makespan)
+        slrs.set(
+            wname, sched, schedule_length_ratio(record.makespan, contexts[wname])
+        )
 
     makespans = makespans.with_geomean_row()
     slrs = slrs.with_geomean_row()

@@ -12,15 +12,20 @@ several-fold from GPUs; FPGA adds most where BLAST-family kernels exist
 from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult, quick_params, suite_workflows
-from repro.platform import presets
+from repro.experiments.common import (
+    ExperimentResult,
+    make_job,
+    preset_spec,
+    quick_params,
+    run_sims,
+    suite_workflows,
+)
 
 PLATFORMS = ("cpu", "cpu+gpu", "cpu+gpu+fpga")
 
 
-def make_platform(kind: str):
-    """The three T2 platforms with matched CPU capacity.
+def platform_spec(kind: str):
+    """The three T2 platforms with matched CPU capacity, as cell specs.
 
     The accelerator steps are incremental — one GPU per node, then one
     FPGA per node on top — so the FPGA column shows what a *second
@@ -28,12 +33,12 @@ def make_platform(kind: str):
     FPGA-preferring kernels exist).
     """
     if kind == "cpu":
-        return presets.cpu_cluster(nodes=4, cores_per_node=4)
+        return preset_spec("cpu", nodes=4, cores_per_node=4)
     if kind == "cpu+gpu":
-        return presets.hybrid_cluster(nodes=4, cores_per_node=4, gpus_per_node=1)
+        return preset_spec("hybrid", nodes=4, cores_per_node=4, gpus_per_node=1)
     if kind == "cpu+gpu+fpga":
-        return presets.accelerator_rich_cluster(
-            nodes=4, cores_per_node=4, gpus_per_node=1, fpgas_per_node=1
+        return preset_spec(
+            "accel", nodes=4, cores_per_node=4, gpus_per_node=1, fpgas_per_node=1
         )
     raise KeyError(f"unknown platform kind {kind!r}")
 
@@ -43,14 +48,18 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     params = quick_params(quick)
     workflows = suite_workflows(size=params["size"], seed=seed)
 
+    cells = [
+        (wname, kind,
+         make_job(wf, platform_spec(kind), scheduler="hdws", seed=seed,
+                  noise_cv=noise_cv, label=f"t2:{wname}:{kind}"))
+        for kind in PLATFORMS
+        for wname, wf in workflows.items()
+    ]
+    records = run_sims([job for _, _, job in cells])
+
     makespans = ComparisonTable("workflow")
-    for kind in PLATFORMS:
-        cluster = make_platform(kind)
-        for wname, wf in workflows.items():
-            result = run_workflow(
-                wf, cluster, scheduler="hdws", seed=seed, noise_cv=noise_cv
-            )
-            makespans.set(wname, kind, result.makespan)
+    for (wname, kind, _job), record in zip(cells, records):
+        makespans.set(wname, kind, record.makespan)
 
     speedups = makespans.normalized("cpu")
     # normalized() divides by the cpu column; invert to read as speedup.

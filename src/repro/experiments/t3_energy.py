@@ -13,20 +13,26 @@ packing shortens idle tails.
 from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
-from repro.core.api import run_workflow
 from repro.energy.governor import DeepSleepGovernor
-from repro.experiments.common import ExperimentResult, quick_params, suite_workflows
-from repro.platform import presets
+from repro.experiments.common import (
+    ExperimentResult,
+    make_job,
+    preset_spec,
+    quick_params,
+    run_sims,
+    suite_workflows,
+)
+from repro.runner.specs import factory_spec
 from repro.schedulers.energy_aware import EnergyAwareHeftScheduler
 
 
 def scheduler_lineup():
-    """(label, scheduler) pairs of the T3 columns."""
+    """(label, scheduler spec) pairs of the T3 columns."""
     return [
         ("heft", "heft"),
         ("hdws", "hdws"),
-        ("ea-0.7", EnergyAwareHeftScheduler(alpha=0.7)),
-        ("ea-0.3", EnergyAwareHeftScheduler(alpha=0.3)),
+        ("ea-0.7", factory_spec(EnergyAwareHeftScheduler, alpha=0.7)),
+        ("ea-0.3", factory_spec(EnergyAwareHeftScheduler, alpha=0.3)),
     ]
 
 
@@ -34,23 +40,27 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     """Run the T3 energy comparison; energy/makespan/EDP tables."""
     params = quick_params(quick)
     workflows = suite_workflows(size=params["size"], seed=seed)
-    governor = DeepSleepGovernor(threshold_s=1.0)
+    governor = factory_spec(DeepSleepGovernor, threshold_s=1.0)
+    cluster = preset_spec(
+        "hybrid", nodes=4, cores_per_node=4, gpus_per_node=1, dvfs=True
+    )
+
+    cells = [
+        (wname, label,
+         make_job(wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv,
+                  governor=governor, label=f"t3:{wname}:{label}"))
+        for wname, wf in workflows.items()
+        for label, sched in scheduler_lineup()
+    ]
+    records = run_sims([job for _, _, job in cells])
 
     energy = ComparisonTable("workflow")
     makespan = ComparisonTable("workflow")
     edp = ComparisonTable("workflow")
-    for wname, wf in workflows.items():
-        for label, sched in scheduler_lineup():
-            cluster = presets.hybrid_cluster(
-                nodes=4, cores_per_node=4, gpus_per_node=1, dvfs=True
-            )
-            result = run_workflow(
-                wf, cluster, scheduler=sched, seed=seed,
-                noise_cv=noise_cv, governor=governor,
-            )
-            energy.set(wname, label, result.energy.total_joules)
-            makespan.set(wname, label, result.makespan)
-            edp.set(wname, label, result.energy.edp)
+    for (wname, label, _job), record in zip(cells, records):
+        energy.set(wname, label, record.energy_j)
+        makespan.set(wname, label, record.makespan)
+        edp.set(wname, label, record.edp)
 
     energy = energy.with_geomean_row()
     makespan = makespan.with_geomean_row()

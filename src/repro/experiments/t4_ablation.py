@@ -14,26 +14,28 @@ dominates everywhere.
 from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
-from repro.core.api import run_workflow
 from repro.core.hdws import HdwsScheduler
 from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
     ExperimentResult,
-    default_cluster,
+    make_job,
     quick_params,
+    run_sims,
     suite_workflows,
 )
+from repro.runner.specs import factory_spec
 
 
 def variants():
-    """(label, scheduler) pairs of the T4 rows."""
+    """(label, scheduler spec) pairs of the T4 rows."""
     return [
-        ("full", HdwsScheduler()),
-        ("-affinity", HdwsScheduler(use_affinity_rank=False)),
-        ("-scarcity", HdwsScheduler(use_scarcity=False)),
-        ("-locality", HdwsScheduler(use_locality=False)),
-        ("-lookahead", HdwsScheduler(use_lookahead=False)),
-        ("none", HdwsScheduler(
-            use_affinity_rank=False, use_scarcity=False,
+        ("full", factory_spec(HdwsScheduler)),
+        ("-affinity", factory_spec(HdwsScheduler, use_affinity_rank=False)),
+        ("-scarcity", factory_spec(HdwsScheduler, use_scarcity=False)),
+        ("-locality", factory_spec(HdwsScheduler, use_locality=False)),
+        ("-lookahead", factory_spec(HdwsScheduler, use_lookahead=False)),
+        ("none", factory_spec(
+            HdwsScheduler, use_affinity_rank=False, use_scarcity=False,
             use_locality=False, use_lookahead=False,
         )),
     ]
@@ -44,19 +46,20 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
     params = quick_params(quick)
     workflows = suite_workflows(size=params["size"], seed=seed)
 
+    cells = [
+        (wname, label,
+         make_job(wf, DEFAULT_CLUSTER_SPEC, scheduler=sched, seed=seed,
+                  noise_cv=noise_cv, label=f"t4:{wname}:{label}"))
+        for wname, wf in workflows.items()
+        for label, sched in variants()
+    ]
+    records = run_sims([job for _, _, job in cells])
+
     makespan = ComparisonTable("workflow")
     traffic = ComparisonTable("workflow")
-    cluster = default_cluster()
-    for wname, wf in workflows.items():
-        for label, sched in variants():
-            result = run_workflow(
-                wf, cluster, scheduler=sched, seed=seed, noise_cv=noise_cv
-            )
-            makespan.set(wname, label, result.makespan)
-            traffic.set(
-                wname, label,
-                result.execution.network_mb + result.execution.staging_mb,
-            )
+    for (wname, label, _job), record in zip(cells, records):
+        makespan.set(wname, label, record.makespan)
+        traffic.set(wname, label, record.data_moved_mb)
 
     makespan = makespan.with_geomean_row()
     traffic = traffic.with_geomean_row()

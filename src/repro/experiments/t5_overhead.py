@@ -5,17 +5,25 @@ main algorithms on random DAGs of growing size.  This is the classic
 quality/overhead table: HEFT-family algorithms are near-quadratic in
 (tasks x devices), PEFT pays extra for its OCT, the GA pays per
 generation, and the immediate-mode mappers are near-linear.
+
+Timing cells run through the campaign runner but are never cached (a
+stored wall-clock time is not a property of the inputs); with ``--jobs``
+above 1 absolute values include pool contention, so compare columns
+within one jobs setting.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
 from repro.analysis.compare import ComparisonTable
-from repro.experiments.common import ExperimentResult, default_cluster
-from repro.schedulers import REGISTRY
-from repro.schedulers.base import SchedulingContext
+from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
+    ExperimentResult,
+    make_timing_job,
+    run_timings,
+)
+from repro.runner.specs import factory_spec
 from repro.schedulers.genetic import GeneticScheduler
 from repro.workflows.generators import random_dag
 
@@ -28,23 +36,21 @@ EXPENSIVE_CUTOFF = 500
 
 
 def lineup(quick: bool):
-    """(label, scheduler factory, max size) triples of the T5 columns."""
+    """(label, scheduler spec, max size) triples of the T5 columns."""
     import repro.core  # noqa: F401  (registry hook)
 
     pairs = [
-        ("hdws", REGISTRY["hdws"], None),
-        ("heft", REGISTRY["heft"], None),
-        ("peft", REGISTRY["peft"], None),
-        ("minmin", REGISTRY["minmin"], None),
-        ("mct", REGISTRY["mct"], None),
+        ("hdws", "hdws", None),
+        ("heft", "heft", None),
+        ("peft", "peft", None),
+        ("minmin", "minmin", None),
+        ("mct", "mct", None),
     ]
     if not quick:
-        pairs.append(
-            ("lookahead", REGISTRY["lookahead-heft"], EXPENSIVE_CUTOFF)
-        )
+        pairs.append(("lookahead", "lookahead-heft", EXPENSIVE_CUTOFF))
         pairs.append((
             "genetic-10g",
-            lambda: GeneticScheduler(population=16, generations=10),
+            factory_spec(GeneticScheduler, population=16, generations=10),
             EXPENSIVE_CUTOFF,
         ))
     return pairs
@@ -53,24 +59,25 @@ def lineup(quick: bool):
 def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     """Run the T5 overhead study; scheduling seconds per (size, algorithm)."""
     sizes = (50, 100, 200) if quick else (50, 100, 200, 500, 1000, 2000)
-    cluster = default_cluster()
 
-    table = ComparisonTable("n_tasks")
+    cells = []
     for n in sizes:
         wf = random_dag(n_tasks=n, ccr=0.5, seed=seed)
-        context = SchedulingContext(wf, cluster)
-        for label, factory, max_size in lineup(quick):
+        for label, sched, max_size in lineup(quick):
             if max_size is not None and n > max_size:
                 continue  # impractical at this size: reported as a gap
-            sched = factory()
-            t0 = time.perf_counter()
-            schedule = sched.schedule(context)
-            elapsed = time.perf_counter() - t0
-            schedule.validate_against(wf)
-            table.set(str(n), label, elapsed)
+            cells.append((n, label, make_timing_job(
+                wf, DEFAULT_CLUSTER_SPEC, scheduler=sched,
+                label=f"t5:{n}:{label}",
+            )))
+    timings = run_timings([job for _, _, job in cells])
+
+    table = ComparisonTable("n_tasks")
+    for (n, label, _job), timing in zip(cells, timings):
+        table.set(str(n), label, timing.elapsed_s)
 
     growth: Dict[str, float] = {}
-    for label, _f, _m in lineup(quick):
+    for label, _s, _m in lineup(quick):
         col = table.column_values(label)
         keys = sorted(col, key=int)
         growth[label] = col[keys[-1]] / max(col[keys[0]], 1e-9)

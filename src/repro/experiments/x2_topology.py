@@ -13,20 +13,24 @@ fat-tree hurts most because inter-pod bandwidth shrinks.
 from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, make_job, run_sims
 from repro.platform.cluster import Cluster
 from repro.platform.devices import catalogue
 from repro.platform.nodes import NodeSpec
 from repro.platform.topologies import dragonfly, fat_tree, torus_2d
 from repro.platform.interconnect import Interconnect
+from repro.runner.specs import factory_spec
 from repro.workflows.generators import cybershake, epigenomics
 
 FABRICS = ("uniform", "fat-tree", "torus", "dragonfly")
 
 
 def make_cluster(fabric: str, nodes: int = 8) -> Cluster:
-    """Eight 2-CPU+1-GPU nodes behind the requested fabric."""
+    """Eight 2-CPU+1-GPU nodes behind the requested fabric.
+
+    Module-level (not a preset) so campaign cells can address it by
+    factory path.
+    """
     cat = catalogue()
     names = [f"n{i}" for i in range(nodes)]
     specs = [
@@ -54,19 +58,21 @@ def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentR
         "epigenomics": epigenomics(size=size, seed=seed + 1),
     }
 
+    cells = [
+        (wname, fabric,
+         make_job(wf, factory_spec(make_cluster, fabric),
+                  scheduler="hdws", seed=seed, noise_cv=noise_cv,
+                  label=f"x2:{fabric}:{wname}"))
+        for fabric in FABRICS
+        for wname, wf in workflows.items()
+    ]
+    records = run_sims([job for _, _, job in cells])
+
     makespan = ComparisonTable("workflow")
     traffic = ComparisonTable("workflow")
-    for fabric in FABRICS:
-        for wname, wf in workflows.items():
-            cluster = make_cluster(fabric)
-            result = run_workflow(
-                wf, cluster, scheduler="hdws", seed=seed, noise_cv=noise_cv
-            )
-            makespan.set(wname, fabric, result.makespan)
-            traffic.set(
-                wname, fabric,
-                result.execution.network_mb + result.execution.staging_mb,
-            )
+    for (wname, fabric, _job), record in zip(cells, records):
+        makespan.set(wname, fabric, record.makespan)
+        traffic.set(wname, fabric, record.data_moved_mb)
 
     spread = {}
     for wname in workflows:

@@ -10,51 +10,68 @@ per-second overhead; plain retry is cheapest until crashes get expensive.
 from __future__ import annotations
 
 from repro.analysis.compare import ComparisonTable
-from repro.core.api import run_workflow
-from repro.experiments.common import ExperimentResult, default_cluster
+from repro.experiments.common import (
+    DEFAULT_CLUSTER_SPEC,
+    ExperimentResult,
+    make_job,
+    run_sims,
+)
 from repro.faults.models import FaultModel
 from repro.faults.recovery import RecoveryPolicy
+from repro.runner.specs import factory_spec
 from repro.workflows.generators import cybershake
+from repro.workflows.serialize import workflow_to_dict
 
 
 def policies():
-    """(label, policy) rows of the X3 table."""
+    """(label, policy spec) rows of the X3 table."""
     return [
-        ("retry", RecoveryPolicy.retry(40)),
-        ("ckpt-fine", RecoveryPolicy.checkpoint(0.5, overhead=0.05, retries=40)),
-        ("replicate-2x", RecoveryPolicy.replicated(2, retries=40)),
-        ("replicate-3x", RecoveryPolicy.replicated(3, retries=40)),
+        ("retry", factory_spec(RecoveryPolicy.retry, 40)),
+        ("ckpt-fine",
+         factory_spec(RecoveryPolicy.checkpoint, 0.5, overhead=0.05, retries=40)),
+        ("replicate-2x", factory_spec(RecoveryPolicy.replicated, 2, retries=40)),
+        ("replicate-3x", factory_spec(RecoveryPolicy.replicated, 3, retries=40)),
     ]
 
 
 def run(quick: bool = True, seed: int = 0, noise_cv: float = 0.1) -> ExperimentResult:
     """Run the X3 recovery-mechanism comparison."""
-    wf = cybershake(size=30 if quick else 60, seed=seed).scaled(4.0)
+    doc = workflow_to_dict(cybershake(size=30 if quick else 60, seed=seed).scaled(4.0))
     rate = 0.2
     reps = 2 if quick else 5
 
+    cells = [
+        (label, rep,
+         make_job(doc, DEFAULT_CLUSTER_SPEC, scheduler="hdws",
+                  seed=seed + rep, noise_cv=noise_cv,
+                  fault_model=factory_spec(FaultModel, task_fault_rate=rate),
+                  recovery=policy,
+                  label=f"x3:{label}:rep{rep}"))
+        for label, policy in policies()
+        for rep in range(reps)
+    ]
+    records = run_sims([job for _, _, job in cells])
+
     table = ComparisonTable("policy")
-    for label, policy in policies():
-        makespan = retries = preempt = energy = 0.0
-        ok = True
-        for rep in range(reps):
-            cluster = default_cluster()
-            result = run_workflow(
-                wf, cluster, scheduler="hdws", seed=seed + rep,
-                noise_cv=noise_cv,
-                fault_model=FaultModel(task_fault_rate=rate),
-                recovery=policy,
-            )
-            ok = ok and result.success
-            makespan += result.makespan / reps
-            retries += result.execution.retries / reps
-            preempt += result.execution.preemptions / reps
-            energy += result.energy.total_joules / reps
-        table.set(label, "makespan (s)", makespan)
-        table.set(label, "retries", retries)
-        table.set(label, "preemptions", preempt)
-        table.set(label, "energy (J)", energy)
-        table.set(label, "success", 1.0 if ok else 0.0)
+    by_label = {}
+    for (label, _rep, _job), record in zip(cells, records):
+        agg = by_label.setdefault(
+            label,
+            {"makespan": 0.0, "retries": 0.0, "preempt": 0.0, "energy": 0.0,
+             "ok": True},
+        )
+        agg["ok"] = agg["ok"] and record.success
+        agg["makespan"] += record.makespan / reps
+        agg["retries"] += record.retries / reps
+        agg["preempt"] += record.preemptions / reps
+        agg["energy"] += record.energy_j / reps
+    for label, _policy in policies():
+        agg = by_label[label]
+        table.set(label, "makespan (s)", agg["makespan"])
+        table.set(label, "retries", agg["retries"])
+        table.set(label, "preemptions", agg["preempt"])
+        table.set(label, "energy (J)", agg["energy"])
+        table.set(label, "success", 1.0 if agg["ok"] else 0.0)
 
     retries_col = table.column_values("retries")
     return ExperimentResult(

@@ -92,12 +92,20 @@ class Device:
         self.busy_intervals: List[Tuple[float, float]] = []
         self.tasks_run: int = 0
         self.failed: bool = False
+        self._uid: Optional[str] = None
 
     @property
     def uid(self) -> str:
-        """Globally unique device id, ``<node>:<spec-name>#<index>``."""
-        node_name = getattr(self.node, "name", "?")
-        return f"{node_name}:{self.spec.name}#{self.index}"
+        """Globally unique device id, ``<node>:<spec-name>#<index>``.
+
+        Cached on first access — it is the hottest lookup in the EFT
+        inner loops, and node/spec/index never change after construction.
+        """
+        uid = self._uid
+        if uid is None:
+            node_name = getattr(self.node, "name", "?")
+            uid = self._uid = f"{node_name}:{self.spec.name}#{self.index}"
+        return uid
 
     @property
     def device_class(self) -> DeviceClass:

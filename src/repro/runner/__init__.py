@@ -1,0 +1,59 @@
+"""Parallel campaign runner with content-addressed memoization.
+
+The experiment grid of the evaluation (T1..T5, F1..F7, X1..X3) is a set
+of independent ``(workflow, cluster, scheduler, seed)`` simulation cells.
+This package turns that observation into infrastructure, the way
+RADICAL-Pilot/Parsl treat concurrent cached task execution as the core
+scaling primitive:
+
+* :mod:`repro.runner.specs` — a picklable/hashable *factory spec*
+  mini-language describing clusters, schedulers and policies as data.
+* :mod:`repro.runner.hashing` — canonical JSON + SHA-256 cache keys.
+* :mod:`repro.runner.record` — :class:`SimRecord`, the flat summary of a
+  run that experiments consume (and the cache stores).
+* :mod:`repro.runner.cache` — the on-disk content-addressed result cache.
+* :mod:`repro.runner.jobs` — :class:`SimJob`/:class:`TimingJob` cell
+  descriptions plus the process-pool worker entry points.
+* :mod:`repro.runner.pool` — :class:`CampaignRunner`, fanning cells over
+  ``multiprocessing`` with memoization.
+* :mod:`repro.runner.context` — the ambient runner experiments submit to.
+* :mod:`repro.runner.campaign` — multi-experiment campaign driver.
+
+The contract the test layer pins down: for any jobs setting and any cache
+state, a campaign produces bit-identical results — "parallel" can never
+silently mean "different numbers".
+"""
+
+from repro.runner.cache import CacheStats, ResultCache
+from repro.runner.campaign import CampaignReport, run_campaign
+from repro.runner.context import (
+    get_runner,
+    runner_from_env,
+    set_runner,
+    use_runner,
+)
+from repro.runner.hashing import cache_key, canonical_json
+from repro.runner.jobs import SimJob, TimingJob
+from repro.runner.pool import CampaignRunner
+from repro.runner.record import SimRecord
+from repro.runner.specs import build, factory_spec, is_spec
+
+__all__ = [
+    "CacheStats",
+    "CampaignReport",
+    "CampaignRunner",
+    "ResultCache",
+    "SimJob",
+    "SimRecord",
+    "TimingJob",
+    "build",
+    "cache_key",
+    "canonical_json",
+    "factory_spec",
+    "get_runner",
+    "is_spec",
+    "run_campaign",
+    "runner_from_env",
+    "set_runner",
+    "use_runner",
+]

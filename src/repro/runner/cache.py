@@ -1,0 +1,125 @@
+"""On-disk content-addressed cache of simulation records.
+
+Entries are sharded two-level (``ab/abcdef....json``) so a campaign of
+thousands of cells never piles one directory high.  Writes are atomic
+(temp file + ``os.replace``) so a crashed or parallel writer can never
+leave a half-written entry; corrupt or unreadable entries read as misses
+and are overwritten on the next put.
+
+Invalidation is automatic and content-based: the key hashes the full
+workflow document, cluster spec, scheduler params and run configuration,
+so editing any of them simply addresses a different entry.  ``clear()``
+exists for reclaiming disk, not for correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/put counters for one runner lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON store rooted at ``root``."""
+
+    root: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def path_for(self, key: str) -> str:
+        """Entry path for a hex key (two-level sharding)."""
+        if len(key) < 3:
+            raise ValueError(f"cache key too short: {key!r}")
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored record dict, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            record = entry["record"]
+            if entry.get("key") != key or not isinstance(record, dict):
+                raise ValueError("malformed cache entry")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            # Corrupt entry: treat as a miss; the re-run will overwrite it.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically store ``record`` under ``key``."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = json.dumps({"key": key, "record": record}, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir):
+                count += sum(
+                    1 for f in os.listdir(shard_dir)
+                    if f.endswith(".json") and not f.startswith(".tmp-")
+                )
+        return count
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for fname in os.listdir(shard_dir):
+                if fname.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(shard_dir, fname))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

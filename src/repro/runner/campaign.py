@@ -1,0 +1,126 @@
+"""Campaign driver: run many experiments through one shared runner.
+
+A *campaign* is an ordered set of experiment ids executed with a single
+:class:`~repro.runner.pool.CampaignRunner`, so all their simulation cells
+share the process pool and the memoization cache.  The driver reports
+per-experiment wall-clock plus the cache economics of the whole sweep —
+the numbers the ``repro-flow campaign`` CLI prints.
+
+Also home to the *golden cell* enumeration: the small, pinned
+suite×scheduler grid whose makespans are checked into
+``tests/golden/`` as the regression fixture for scheduler drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner.context import get_runner, use_runner
+from repro.runner.pool import CampaignRunner
+
+#: The pinned golden grid: every mainstream scheduler family at a small,
+#: fast size.  Changing this list invalidates the golden fixtures.
+GOLDEN_SCHEDULERS = ("hdws", "heft", "peft", "cpop", "minmin", "maxmin", "mct", "olb")
+GOLDEN_SIZE = 30
+GOLDEN_SEED = 7
+GOLDEN_NOISE_CV = 0.1
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign run."""
+
+    results: Dict[str, object] = field(default_factory=dict)
+    seconds: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    simulated: int = 0
+    cache_stats: Optional[Dict[str, int]] = None
+
+    def render_summary(self) -> str:
+        """The timing/cache footer the CLI prints after a campaign."""
+        lines = ["=== campaign summary ==="]
+        for exp_id, secs in self.seconds.items():
+            lines.append(f"{exp_id:6s} {secs:8.2f}s")
+        lines.append(f"total  {self.total_seconds:8.2f}s")
+        lines.append(f"cells simulated: {self.simulated}")
+        if self.cache_stats is not None:
+            s = self.cache_stats
+            lines.append(
+                "cache: {hits} hits, {misses} misses, {puts} puts".format(**s)
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    experiment_ids: Sequence[str],
+    runner: Optional[CampaignRunner] = None,
+    quick: bool = True,
+    seed: int = 0,
+) -> CampaignReport:
+    """Run the listed experiments through one shared runner.
+
+    Experiments execute sequentially (their cells fan out in parallel),
+    preserving each experiment's internal determinism while the pool
+    keeps all cores busy within each batch of cells.
+    """
+    from repro.experiments import REGISTRY
+
+    unknown = [e for e in experiment_ids if e not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; available: {sorted(REGISTRY)}")
+
+    runner = runner or get_runner()
+    report = CampaignReport()
+    t_campaign = time.perf_counter()
+    with use_runner(runner):
+        for exp_id in experiment_ids:
+            t0 = time.perf_counter()
+            report.results[exp_id] = REGISTRY[exp_id](quick=quick, seed=seed)
+            report.seconds[exp_id] = time.perf_counter() - t0
+    report.total_seconds = time.perf_counter() - t_campaign
+    report.simulated = runner.simulated
+    if runner.cache is not None:
+        report.cache_stats = runner.cache.stats.as_dict()
+    return report
+
+
+def golden_jobs() -> List[object]:
+    """The pinned golden-regression cells (see tests/golden/)."""
+    from repro.experiments.common import make_job, preset_spec, suite_workflows
+
+    workflows = suite_workflows(size=GOLDEN_SIZE, seed=GOLDEN_SEED)
+    cluster = preset_spec(
+        "hybrid", nodes=4, cores_per_node=4, gpus_per_node=1
+    )
+    jobs = []
+    for wname, wf in workflows.items():
+        for sched in GOLDEN_SCHEDULERS:
+            jobs.append(
+                make_job(
+                    wf,
+                    cluster,
+                    scheduler=sched,
+                    seed=GOLDEN_SEED,
+                    noise_cv=GOLDEN_NOISE_CV,
+                    label=f"golden:{wname}:{sched}",
+                )
+            )
+    return jobs
+
+
+def golden_makespans() -> Dict[str, Dict[str, float]]:
+    """suite -> scheduler -> makespan for the pinned golden grid."""
+    from repro.experiments.common import run_sims, suite_workflows
+
+    suites = list(suite_workflows(size=GOLDEN_SIZE, seed=GOLDEN_SEED))
+    records = run_sims(golden_jobs())
+    out: Dict[str, Dict[str, float]] = {}
+    i = 0
+    for wname in suites:
+        out[wname] = {}
+        for sched in GOLDEN_SCHEDULERS:
+            out[wname][sched] = records[i].makespan
+            i += 1
+    return out

@@ -1,0 +1,60 @@
+"""The ambient campaign runner experiments submit cells to.
+
+Experiment modules stay pure functions of ``(quick, seed)``: they do not
+take a runner parameter.  Instead they fetch the process-wide active
+runner, which the CLI / campaign driver / tests configure::
+
+    with use_runner(CampaignRunner(jobs=4, cache=ResultCache(".repro-cache"))):
+        result = run_t1(quick=True)
+
+When nothing is configured, the default runner is serial and its cache is
+controlled by the ``REPRO_CACHE_DIR`` environment variable (unset = no
+caching), so importing the runner layer never surprises a test with disk
+writes or extra processes.  ``REPRO_JOBS`` likewise seeds the default
+parallelism for ad-hoc runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional
+
+from repro.runner.cache import ResultCache
+from repro.runner.pool import CampaignRunner
+
+_active: Optional[CampaignRunner] = None
+
+
+def runner_from_env() -> CampaignRunner:
+    """A runner configured from REPRO_JOBS / REPRO_CACHE_DIR."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return CampaignRunner(jobs=max(jobs, 1), cache=cache)
+
+
+def get_runner() -> CampaignRunner:
+    """The active runner (lazily built from the environment)."""
+    global _active
+    if _active is None:
+        _active = runner_from_env()
+    return _active
+
+
+def set_runner(runner: Optional[CampaignRunner]) -> None:
+    """Install (or with None, reset to env-default) the active runner."""
+    global _active
+    _active = runner
+
+
+@contextlib.contextmanager
+def use_runner(runner: CampaignRunner) -> Iterator[CampaignRunner]:
+    """Scoped install of ``runner`` as the active campaign runner."""
+    global _active
+    previous = _active
+    _active = runner
+    try:
+        yield runner
+    finally:
+        _active = previous

@@ -1,0 +1,73 @@
+"""Canonical hashing of simulation cells.
+
+The cache key of a cell must be *stable* (same inputs → same key across
+process restarts, dict insertion orders and platforms running the same
+Python) and *discriminating* (any change to the workflow spec, cluster
+preset, scheduler parameters or seed → a different key).  Both properties
+come from hashing a canonical JSON form: keys sorted, minimal separators,
+floats via ``repr`` round-trip (exact for IEEE doubles), containers
+normalized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: Bump when the semantics of cached records change incompatibly (e.g. a
+#: SimRecord field changes meaning); invalidates every existing entry.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _normalize(obj: Any) -> Any:
+    """Coerce to JSON-native types with deterministic container order."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # Keep integral floats distinct from ints: json renders 1.0 as 1.0.
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): _normalize(v) for k, v in obj.items()}
+    raise TypeError(
+        f"cannot canonically hash {type(obj).__name__}; "
+        "describe it as a factory spec first"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON text: sorted keys, no whitespace, exact floats."""
+    return json.dumps(
+        _normalize(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()
+
+
+def cache_key(job) -> str:
+    """Content-addressed key of a :class:`~repro.runner.jobs.SimJob`.
+
+    Covers everything that can change the simulation's output: the full
+    serialized workflow document, the cluster factory spec, the scheduler
+    name/params, the run configuration (seed, noise, faults, recovery,
+    governor, mode, ...) and the cache schema version.
+    """
+    return digest(
+        {
+            "v": CACHE_SCHEMA_VERSION,
+            "kind": job.kind,
+            "workflow": job.workflow,
+            "cluster": job.cluster,
+            "scheduler": job.scheduler,
+            "config": job.config,
+        }
+    )

@@ -1,0 +1,149 @@
+"""Simulation cells and the worker entry points that execute them.
+
+A :class:`SimJob` is the *data* description of one simulation: the
+serialized workflow document, a cluster factory spec, a scheduler name or
+factory spec, and the run-config dict (seed, noise, fault model, recovery
+policy, governor, mode — object values as factory specs).  Workers
+rebuild everything from the description, so executing a cell inline, in a
+forked pool worker or from a cache-warmed rerun goes through the *same*
+construction path and therefore yields bit-identical numbers.
+
+The module-level ``execute_*`` functions are the ``multiprocessing``
+entry points; payloads are plain dicts so both fork and spawn start
+methods can ship them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.runner import specs
+from repro.runner.record import SimRecord, TimingRecord
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One ``(workflow, cluster, scheduler, config)`` simulation cell.
+
+    Attributes:
+        workflow: Serialized workflow document
+            (:func:`repro.workflows.serialize.workflow_to_dict` output).
+        cluster: Factory spec for the platform.
+        scheduler: Scheduler registry name, or a factory spec for a
+            parameterized instance.
+        config: Extra :class:`~repro.core.orchestrator.RunConfig` fields;
+            object-valued fields (fault_model, recovery, governor) as
+            factory specs.
+        label: Human-readable tag for diagnostics; not part of the key.
+    """
+
+    workflow: Dict[str, Any]
+    cluster: Dict[str, Any]
+    scheduler: Union[str, Dict[str, Any]]
+    config: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    kind = "sim"
+
+    def payload(self) -> Dict[str, Any]:
+        """Picklable dict handed to the pool worker."""
+        return {
+            "kind": self.kind,
+            "workflow": self.workflow,
+            "cluster": self.cluster,
+            "scheduler": self.scheduler,
+            "config": self.config,
+            "label": self.label,
+        }
+
+
+@dataclass(frozen=True)
+class TimingJob:
+    """A scheduling-call wall-clock measurement (experiment T5).
+
+    Timing cells are never cached — a stored wall-clock time is not a
+    property of the inputs — and their absolute values are only
+    comparable within one ``--jobs`` setting.
+    """
+
+    workflow: Dict[str, Any]
+    cluster: Dict[str, Any]
+    scheduler: Union[str, Dict[str, Any]]
+    config: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    kind = "timing"
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "workflow": self.workflow,
+            "cluster": self.cluster,
+            "scheduler": self.scheduler,
+            "config": self.config,
+            "label": self.label,
+        }
+
+
+def _build_scheduler(spec: Union[str, Dict[str, Any]]):
+    """Registry name → name (resolved by RunConfig); factory spec → instance."""
+    if isinstance(spec, str):
+        return spec
+    return specs.build(spec)
+
+
+def execute_sim(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker: rebuild the cell's objects, run it, return the record dict."""
+    # The import registers HDWS in the scheduler registry inside workers.
+    import repro.core  # noqa: F401
+    from repro.core.api import run_workflow
+    from repro.workflows.serialize import workflow_from_dict
+
+    try:
+        wf = workflow_from_dict(payload["workflow"])
+        cluster = specs.build(payload["cluster"])
+        scheduler = _build_scheduler(payload["scheduler"])
+        config = {k: specs.build(v) for k, v in payload["config"].items()}
+        result = run_workflow(wf, cluster, scheduler=scheduler, **config)
+        return SimRecord.from_run(result).to_dict()
+    except Exception as exc:
+        raise RuntimeError(
+            f"simulation cell {payload.get('label') or '<unlabeled>'} failed: {exc}"
+        ) from exc
+
+
+def execute_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker: build the context, time the scheduling call itself."""
+    import repro.core  # noqa: F401
+    from repro.schedulers.base import SchedulingContext
+    from repro.workflows.serialize import workflow_from_dict
+
+    try:
+        wf = workflow_from_dict(payload["workflow"])
+        cluster = specs.build(payload["cluster"])
+        scheduler = _build_scheduler(payload["scheduler"])
+        if isinstance(scheduler, str):
+            from repro.schedulers import REGISTRY
+
+            scheduler = REGISTRY[scheduler]()
+        context = SchedulingContext(wf, cluster)
+        t0 = time.perf_counter()
+        schedule = scheduler.schedule(context)
+        elapsed = time.perf_counter() - t0
+        schedule.validate_against(wf)
+        return TimingRecord(elapsed_s=elapsed, n_tasks=wf.n_tasks).to_dict()
+    except Exception as exc:
+        raise RuntimeError(
+            f"timing cell {payload.get('label') or '<unlabeled>'} failed: {exc}"
+        ) from exc
+
+
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch a payload to its executor by kind (the pool map target)."""
+    if payload["kind"] == "sim":
+        return execute_sim(payload)
+    if payload["kind"] == "timing":
+        return execute_timing(payload)
+    raise ValueError(f"unknown job kind {payload['kind']!r}")

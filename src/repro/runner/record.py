@@ -1,0 +1,74 @@
+"""The flat simulation summary experiments consume and the cache stores.
+
+A :class:`SimRecord` is the closure of every ``result.<attr>`` access in
+the experiment modules: makespan, success, the energy figures, data moved
+and recovery counters.  Keeping it flat and JSON-native means a cached
+cell and a freshly simulated cell are indistinguishable by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class SimRecord:
+    """Summary of one simulated ``(workflow, cluster, scheduler, config)`` cell."""
+
+    makespan: float
+    success: bool
+    energy_j: float
+    edp: float
+    network_mb: float
+    staging_mb: float
+    retries: float
+    preemptions: float
+    task_faults: float
+    device_faults: float
+
+    @property
+    def data_moved_mb(self) -> float:
+        """Total bytes moved: inter-node network plus shared-storage staging."""
+        return self.network_mb + self.staging_mb
+
+    @classmethod
+    def from_run(cls, result) -> "SimRecord":
+        """Summarize a :class:`~repro.core.orchestrator.RunResult`."""
+        ex = result.execution
+        return cls(
+            makespan=float(result.makespan),
+            success=bool(result.success),
+            energy_j=float(result.energy.total_joules),
+            edp=float(result.energy.edp),
+            network_mb=float(ex.network_mb),
+            staging_mb=float(ex.staging_mb),
+            retries=float(ex.retries),
+            preemptions=float(ex.preemptions),
+            task_faults=float(ex.task_faults),
+            device_faults=float(ex.device_faults),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form (what the cache writes)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimRecord":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__})
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """Wall-clock measurement of one scheduling call (experiment T5)."""
+
+    elapsed_s: float
+    n_tasks: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TimingRecord":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__})

@@ -1,0 +1,104 @@
+"""Factory specs — objects as picklable, hashable data.
+
+A simulation cell must cross a process boundary and feed a stable cache
+key, so everything that parameterizes it (cluster, scheduler, recovery
+policy, governor, ...) is described as a *spec* instead of a live object:
+
+* any JSON value (numbers, strings, bools, None, lists, dicts), or
+* a factory call ``{"$factory": "module:Qual.name", "args": [...],
+  "kwargs": {...}}`` whose args/kwargs may themselves be specs.
+
+:func:`build` resolves a spec into the live object by importing the
+module and calling the attribute; :func:`factory_spec` goes the other
+way from a callable.  Because specs are plain data, the canonical JSON of
+a spec doubles as its cache-key contribution — two cells collide exactly
+when they would construct equal inputs.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Union
+
+#: Marker key identifying a factory-call node inside a spec tree.
+FACTORY_KEY = "$factory"
+
+
+def factory_spec(factory: Union[Callable, str], *args: Any, **kwargs: Any) -> Dict[str, Any]:
+    """Spec for ``factory(*args, **kwargs)``.
+
+    ``factory`` may be a callable (its ``module:qualname`` path is
+    recorded) or an explicit ``"module:qualname"`` string.  Lambdas and
+    locally-defined callables are rejected: they cannot be re-imported in
+    a worker process, and their identity would not survive a restart.
+    """
+    if callable(factory):
+        qualname = getattr(factory, "__qualname__", "")
+        module = getattr(factory, "__module__", None)
+        if not module or "<" in qualname:
+            raise ValueError(
+                f"factory {factory!r} is not importable by path; "
+                "use a module-level callable"
+            )
+        path = f"{module}:{qualname}"
+    else:
+        path = str(factory)
+        if ":" not in path:
+            raise ValueError(f"factory path {path!r} must look like 'module:qualname'")
+    spec: Dict[str, Any] = {FACTORY_KEY: path}
+    if args:
+        spec["args"] = [_check_data(a) for a in args]
+    if kwargs:
+        spec["kwargs"] = {k: _check_data(v) for k, v in sorted(kwargs.items())}
+    return spec
+
+
+def is_spec(value: Any) -> bool:
+    """Whether ``value`` is a factory-call spec node."""
+    return isinstance(value, dict) and FACTORY_KEY in value
+
+
+def resolve_path(path: str) -> Any:
+    """Import ``module:Qual.name`` and return the attribute."""
+    module_name, _sep, qualname = path.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"bad factory path {path!r}; expected 'module:qualname'")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def build(spec: Any) -> Any:
+    """Materialize a spec: factory nodes are called, containers recursed.
+
+    Plain values pass through unchanged, so configuration dicts may mix
+    scalars with factory specs freely.
+    """
+    if is_spec(spec):
+        factory = resolve_path(spec[FACTORY_KEY])
+        args = [build(a) for a in spec.get("args", ())]
+        kwargs = {k: build(v) for k, v in spec.get("kwargs", {}).items()}
+        return factory(*args, **kwargs)
+    if isinstance(spec, dict):
+        return {k: build(v) for k, v in spec.items()}
+    if isinstance(spec, (list, tuple)):
+        return [build(v) for v in spec]
+    return spec
+
+
+def _check_data(value: Any) -> Any:
+    """Validate a spec argument is data (or a nested spec), not an object.
+
+    Tuples are normalized to lists so the spec equals its JSON round-trip.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_data(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _check_data(v) for k, v in value.items()}
+    raise TypeError(
+        f"spec arguments must be JSON data or nested specs, got {type(value).__name__}; "
+        "wrap objects in factory_spec(...)"
+    )

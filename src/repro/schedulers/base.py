@@ -57,25 +57,56 @@ class SchedulingContext:
                     rng.lognormal(mean=-0.5 * sigma2, sigma=np.sqrt(sigma2))
                 )
 
+        # Estimates are computed once per (task, distinct spec) and fanned
+        # out to every device sharing the spec: presets instantiate many
+        # devices from a handful of catalogue specs, so this collapses the
+        # model-call count from |tasks| x |devices| to |tasks| x |specs|.
+        alive = cluster.alive_devices()
+        spec_groups: List[tuple] = []  # (spec, [devices]) preserving order
+        spec_index: Dict[int, int] = {}
+        for d in alive:
+            idx = spec_index.get(id(d.spec))
+            if idx is None:
+                spec_index[id(d.spec)] = len(spec_groups)
+                spec_groups.append((d.spec, [d]))
+            else:
+                spec_groups[idx][1].append(d)
+
+        order = {d.uid: i for i, d in enumerate(alive)}
         self._eligible: Dict[str, List[Device]] = {}
         self._exec: Dict[str, Dict[str, float]] = {}
         for name, task in workflow.tasks.items():
-            devices = [
-                d for d in cluster.alive_devices()
-                if model.eligible(task, d.spec)
-                and d.spec.memory_gb >= task.memory_gb
-            ]
+            factor = self._error.get(name, 1.0)
+            devices: List[Device] = []
+            exec_row: Dict[str, float] = {}
+            for spec, group in spec_groups:
+                if not model.eligible(task, spec) or spec.memory_gb < task.memory_gb:
+                    continue
+                est = model.estimate(task, spec) * factor
+                for d in group:
+                    devices.append(d)
+                    exec_row[d.uid] = est
             if not devices:
                 raise SchedulingError(
                     f"task {name!r} has no eligible device on cluster "
                     f"{cluster.name!r} (classes {task.eligible_classes()}, "
                     f"memory {task.memory_gb} GB)"
                 )
+            # Restore cluster device order (devices grouped by spec above).
+            devices.sort(key=lambda d: order[d.uid])
             self._eligible[name] = devices
-            factor = self._error.get(name, 1.0)
-            self._exec[name] = {
-                d.uid: model.estimate(task, d.spec) * factor for d in devices
-            }
+            self._exec[name] = {d.uid: exec_row[d.uid] for d in devices}
+
+        # Hot-path memo tables: filled lazily, keyed by names/uids only.
+        self._node_of: Dict[str, str] = {
+            d.uid: d.node.name for n in cluster.nodes for d in n.devices
+        }
+        self._mean_exec: Dict[str, float] = {}
+        self._best_exec: Dict[str, float] = {}
+        self._edge_mb: Dict[tuple, float] = {}
+        self._mean_comm: Dict[tuple, float] = {}
+        self._pair_coeff: Dict[tuple, tuple] = {}
+        self._staging: Dict[tuple, float] = {}
 
         # Cluster-average communication figures for rank computations.
         links = cluster.interconnect.links
@@ -105,12 +136,20 @@ class SchedulingContext:
             ) from None
 
     def mean_exec(self, task_name: str) -> float:
-        """Mean runtime over eligible devices (HEFT's w-bar)."""
-        return float(np.mean(list(self._exec[task_name].values())))
+        """Mean runtime over eligible devices (HEFT's w-bar); memoized."""
+        cached = self._mean_exec.get(task_name)
+        if cached is None:
+            cached = float(np.mean(list(self._exec[task_name].values())))
+            self._mean_exec[task_name] = cached
+        return cached
 
     def best_exec(self, task_name: str) -> float:
-        """Best runtime over eligible devices."""
-        return min(self._exec[task_name].values())
+        """Best runtime over eligible devices; memoized."""
+        cached = self._best_exec.get(task_name)
+        if cached is None:
+            cached = min(self._exec[task_name].values())
+            self._best_exec[task_name] = cached
+        return cached
 
     def best_device(self, task_name: str) -> Device:
         """The device with the smallest runtime estimate."""
@@ -121,35 +160,87 @@ class SchedulingContext:
     # communication estimates                                            #
     # ------------------------------------------------------------------ #
 
+    def _edge_data(self, src_task: str, dst_task: str) -> float:
+        """Memoized bytes on edge src->dst (the EFT inner-loop hot lookup)."""
+        key = (src_task, dst_task)
+        cached = self._edge_mb.get(key)
+        if cached is None:
+            cached = self.workflow.edge_data_mb(src_task, dst_task)
+            self._edge_mb[key] = cached
+        return cached
+
+    def _pair(self, src_node: str, dst_node: str) -> tuple:
+        """(latency, eff_bandwidth, dst_disk_bandwidth) per node pair.
+
+        The exact ingredients of :meth:`Cluster.transfer_estimate` for a
+        cross-node pair, resolved once — the per-placement cost becomes
+        three float ops instead of repeated object-graph walks.
+        """
+        key = (src_node, dst_node)
+        cached = self._pair_coeff.get(key)
+        if cached is None:
+            src = self.cluster.node(src_node)
+            dst = self.cluster.node(dst_node)
+            link = self.cluster.interconnect.link(src_node, dst_node)
+            eff_bw = min(link.bandwidth, src.nic_bandwidth, dst.nic_bandwidth)
+            cached = (link.latency, eff_bw, dst.disk_bandwidth)
+            self._pair_coeff[key] = cached
+        return cached
+
     def comm_time(
         self, src_task: str, dst_task: str, src_uid: str, dst_uid: str
     ) -> float:
-        """Estimated edge transfer time for a concrete placement pair."""
-        data = self.workflow.edge_data_mb(src_task, dst_task)
+        """Estimated edge transfer time for a concrete placement pair.
+
+        Memo lookups are inlined (no helper calls): this runs once per
+        (predecessor, candidate-device) pair inside every EFT loop.
+        """
+        key = (src_task, dst_task)
+        data = self._edge_mb.get(key)
+        if data is None:
+            data = self.workflow.edge_data_mb(src_task, dst_task)
+            self._edge_mb[key] = data
         if data == 0.0:
             return 0.0
-        src_node = self.cluster.device(src_uid).node.name
-        dst_node = self.cluster.device(dst_uid).node.name
+        node_of = self._node_of
+        src_node = node_of[src_uid]
+        dst_node = node_of[dst_uid]
         if src_node == dst_node:
             return 0.0
-        return self.cluster.transfer_estimate(src_node, dst_node, data)
+        coeff = self._pair_coeff.get((src_node, dst_node))
+        if coeff is None:
+            coeff = self._pair(src_node, dst_node)
+        latency, eff_bw, disk_bw = coeff
+        return latency + data / eff_bw + data / disk_bw
 
     def mean_comm(self, src_task: str, dst_task: str) -> float:
-        """Placement-agnostic mean edge cost (HEFT's c-bar)."""
-        data = self.workflow.edge_data_mb(src_task, dst_task)
+        """Placement-agnostic mean edge cost (HEFT's c-bar); memoized."""
+        key = (src_task, dst_task)
+        cached = self._mean_comm.get(key)
+        if cached is not None:
+            return cached
+        data = self._edge_data(src_task, dst_task)
         if data == 0.0 or self.avg_bandwidth == float("inf"):
-            return 0.0
-        return self.avg_latency + data / self.avg_bandwidth
+            cached = 0.0
+        else:
+            cached = self.avg_latency + data / self.avg_bandwidth
+        self._mean_comm[key] = cached
+        return cached
 
     def staging_time(self, task_name: str, device_uid: str) -> float:
         """Estimated time to stage the task's *initial* inputs to a device.
 
         Initial files born on a node (``DataFile.location``) are pulled
         over the interconnect; storage-resident ones pay the shared-storage
-        path.
+        path.  Memoized per (task, node): every device on a node stages
+        identically, so the EFT loop over a node's devices hits the cache.
         """
+        node = self._node_of[device_uid]
+        key = (task_name, node)
+        cached = self._staging.get(key)
+        if cached is not None:
+            return cached
         task = self.workflow.tasks[task_name]
-        node = self.cluster.device(device_uid).node.name
         total = 0.0
         for fname in task.inputs:
             f = self.workflow.files[fname]
@@ -161,6 +252,7 @@ class SchedulingContext:
                 total += self.cluster.transfer_estimate(
                     f.location, node, f.size_mb
                 )
+        self._staging[key] = total
         return total
 
     # ------------------------------------------------------------------ #

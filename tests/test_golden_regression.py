@@ -1,0 +1,79 @@
+"""Golden-regression gate: pinned makespans of the suite×scheduler grid.
+
+The fixture (``tests/golden/makespans.json``) pins the makespan of every
+mainstream scheduler on every scientific suite at a small fixed size and
+seed.  Any numeric drift in the scheduler stack — cost model, EFT loop,
+tie-breaks, RNG plumbing — trips this test with a readable per-cell diff.
+
+If a change is *intentional*, regenerate with::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+and justify the diff in review.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from repro.runner.campaign import (
+    GOLDEN_NOISE_CV,
+    GOLDEN_SCHEDULERS,
+    GOLDEN_SEED,
+    GOLDEN_SIZE,
+    golden_makespans,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "golden", "makespans.json")
+
+#: Relative tolerance: generous enough for cross-platform libm wiggle in
+#: the simulation layer, tight enough that any algorithmic change trips.
+REL_TOL = 1e-9
+
+
+def _load_fixture():
+    with open(FIXTURE, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_fixture_matches_pinned_grid_constants():
+    """The fixture was generated for the grid this repo currently pins."""
+    doc = _load_fixture()
+    assert doc["size"] == GOLDEN_SIZE
+    assert doc["seed"] == GOLDEN_SEED
+    assert doc["noise_cv"] == GOLDEN_NOISE_CV
+    assert doc["schedulers"] == list(GOLDEN_SCHEDULERS)
+
+
+def test_makespans_match_golden_fixture():
+    """Every (suite, scheduler) makespan matches its pinned value."""
+    expected = _load_fixture()["makespans"]
+    actual = golden_makespans()
+
+    assert sorted(actual) == sorted(expected), (
+        f"suite set drifted: fixture has {sorted(expected)}, "
+        f"run produced {sorted(actual)}"
+    )
+
+    diffs = []
+    for suite in sorted(expected):
+        assert sorted(actual[suite]) == sorted(expected[suite])
+        for sched in GOLDEN_SCHEDULERS:
+            want = expected[suite][sched]
+            got = actual[suite][sched]
+            if not math.isclose(got, want, rel_tol=REL_TOL, abs_tol=0.0):
+                rel = abs(got - want) / max(abs(want), 1e-300)
+                diffs.append(
+                    f"  {suite:12s} {sched:8s} "
+                    f"expected {want:.9f}  got {got:.9f}  (rel {rel:.2e})"
+                )
+    assert not diffs, (
+        "golden makespans drifted ({} of {} cells):\n{}\n"
+        "if intentional: PYTHONPATH=src python scripts/regen_golden.py".format(
+            len(diffs),
+            sum(len(v) for v in expected.values()),
+            "\n".join(diffs),
+        )
+    )

@@ -1,0 +1,96 @@
+"""On-disk result cache: round trips, corruption tolerance, accounting."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runner.cache import ResultCache
+
+KEY = "ab" + "0" * 62
+RECORD = {"makespan": 1.5, "success": True}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def test_get_on_empty_cache_is_a_miss(cache):
+    """Missing entries read as None and count as misses."""
+    assert cache.get(KEY) is None
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 0
+
+
+def test_put_then_get_round_trips(cache):
+    """A stored record comes back exactly and counts as a hit."""
+    cache.put(KEY, RECORD)
+    assert cache.get(KEY) == RECORD
+    assert cache.stats.puts == 1
+    assert cache.stats.hits == 1
+
+
+def test_entries_are_sharded_two_level(cache):
+    """Entry files live under a two-hex-char shard directory."""
+    cache.put(KEY, RECORD)
+    assert os.path.exists(os.path.join(cache.root, "ab", f"{KEY}.json"))
+
+
+def test_short_key_is_rejected(cache):
+    """Keys must be long enough to shard."""
+    with pytest.raises(ValueError):
+        cache.path_for("ab")
+
+
+def test_corrupt_entry_reads_as_miss(cache):
+    """Truncated JSON is a miss + error, never an exception."""
+    cache.put(KEY, RECORD)
+    with open(cache.path_for(KEY), "w", encoding="utf-8") as fh:
+        fh.write('{"key": "ab')  # truncated
+    assert cache.get(KEY) is None
+    assert cache.stats.errors == 1
+
+
+def test_entry_with_wrong_embedded_key_reads_as_miss(cache):
+    """An entry whose embedded key mismatches its path is rejected."""
+    cache.put(KEY, RECORD)
+    with open(cache.path_for(KEY), "w", encoding="utf-8") as fh:
+        json.dump({"key": "cd" + "0" * 62, "record": RECORD}, fh)
+    assert cache.get(KEY) is None
+    assert cache.stats.errors == 1
+
+
+def test_overwrite_replaces_entry(cache):
+    """Re-putting a key atomically replaces the stored record."""
+    cache.put(KEY, RECORD)
+    cache.put(KEY, {"makespan": 9.0, "success": False})
+    assert cache.get(KEY)["makespan"] == 9.0
+    assert len(cache) == 1
+
+
+def test_len_counts_entries_not_temp_files(cache):
+    """__len__ ignores stray temp files from interrupted writes."""
+    cache.put(KEY, RECORD)
+    cache.put("cd" + "1" * 62, RECORD)
+    shard = os.path.join(cache.root, "ab")
+    with open(os.path.join(shard, ".tmp-zzz.json"), "w") as fh:
+        fh.write("{}")
+    assert len(cache) == 2
+
+
+def test_clear_removes_everything(cache):
+    """clear() empties the store and reports the count."""
+    cache.put(KEY, RECORD)
+    cache.put("cd" + "1" * 62, RECORD)
+    assert cache.clear() >= 2
+    assert len(cache) == 0
+    assert cache.get(KEY) is None
+
+
+def test_len_of_nonexistent_root_is_zero(cache):
+    """A cache that never wrote anything has no directory and length 0."""
+    assert len(cache) == 0
+    assert cache.clear() == 0

@@ -1,0 +1,53 @@
+"""Campaign determinism: --jobs N == --jobs 1 == warm cache, exactly.
+
+Three representative experiments cover the cell shapes the runner must
+keep deterministic: T1 (plain suite×scheduler grid), F5 (fault injection
+with recovery-policy factory specs and repetitions), X2 (module-level
+cluster factory behind exotic fabrics).  Each is rendered under a serial
+runner, a 4-worker pool, and a warm-cache rerun; the rendered strings —
+every number the experiment reports — must match byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import f5_faults, t1_schedulers, x2_topology
+from repro.runner import CampaignRunner, ResultCache, use_runner
+
+CASES = [
+    ("t1", t1_schedulers.run),
+    ("f5", f5_faults.run),
+    ("x2", x2_topology.run),
+]
+
+
+def _render(run, runner):
+    with use_runner(runner):
+        return run(quick=True, seed=0).render()
+
+
+@pytest.mark.parametrize("exp_id,run", CASES, ids=[c[0] for c in CASES])
+def test_jobs4_equals_jobs1_equals_warm_cache(exp_id, run, tmp_path):
+    """Parallel fan-out and cache recall never change a single digit."""
+    serial = _render(run, CampaignRunner(jobs=1))
+
+    cold_cache = ResultCache(str(tmp_path / "cache"))
+    parallel = _render(run, CampaignRunner(jobs=4, cache=cold_cache))
+    assert parallel == serial, (
+        f"{exp_id}: --jobs 4 diverged from --jobs 1"
+    )
+
+    warm_runner = CampaignRunner(jobs=4, cache=ResultCache(str(tmp_path / "cache")))
+    warm = _render(run, warm_runner)
+    assert warm == serial, f"{exp_id}: warm-cache rerun diverged"
+    assert warm_runner.simulated == 0, (
+        f"{exp_id}: warm rerun re-simulated {warm_runner.simulated} cells"
+    )
+
+
+def test_repeat_serial_runs_are_reproducible():
+    """Two serial runs of the same experiment are identical (baseline)."""
+    assert _render(t1_schedulers.run, CampaignRunner(jobs=1)) == _render(
+        t1_schedulers.run, CampaignRunner(jobs=1)
+    )

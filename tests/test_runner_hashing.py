@@ -1,0 +1,137 @@
+"""Cache-key properties: stable across restarts, discriminating on inputs."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.common import DEFAULT_CLUSTER_SPEC, make_job
+from repro.runner.hashing import cache_key, canonical_json, digest
+from repro.workflows.generators import montage
+from repro.workflows.serialize import workflow_from_dict, workflow_to_dict
+
+
+def _job(**config):
+    wf = montage(size=15, seed=3)
+    config.setdefault("seed", 3)
+    config.setdefault("noise_cv", 0.1)
+    return make_job(wf, DEFAULT_CLUSTER_SPEC, scheduler="heft", **config)
+
+
+# ---------------------------------------------------------------------- #
+# canonical JSON                                                         #
+# ---------------------------------------------------------------------- #
+
+def test_canonical_json_is_insensitive_to_dict_order():
+    """Two dicts with different insertion orders hash identically."""
+    a = {"b": 1, "a": {"y": 2, "x": 3}}
+    b = {"a": {"x": 3, "y": 2}, "b": 1}
+    assert canonical_json(a) == canonical_json(b)
+    assert digest(a) == digest(b)
+
+
+def test_canonical_json_distinguishes_int_from_float():
+    """1 and 1.0 address different entries (they can simulate differently)."""
+    assert canonical_json({"x": 1}) != canonical_json({"x": 1.0})
+
+
+def test_canonical_json_floats_are_exact():
+    """Floats round-trip by repr: no precision is shaved off the key."""
+    value = 0.1 + 0.2  # 0.30000000000000004
+    text = canonical_json({"x": value})
+    assert json.loads(text)["x"] == value
+
+
+def test_canonical_json_normalizes_tuples_to_lists():
+    """(1, 2) and [1, 2] describe the same cell."""
+    assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+
+def test_canonical_json_rejects_nan_and_objects():
+    """NaN and live objects cannot silently enter a key."""
+    with pytest.raises(ValueError):
+        canonical_json(float("nan"))
+    with pytest.raises(TypeError):
+        canonical_json(object())
+
+
+# ---------------------------------------------------------------------- #
+# cache_key discrimination                                               #
+# ---------------------------------------------------------------------- #
+
+def test_key_changes_with_seed():
+    """Different seeds are different cells."""
+    assert cache_key(_job(seed=1)) != cache_key(_job(seed=2))
+
+
+def test_key_changes_with_config_param():
+    """Any run-config change (noise here) re-addresses the cell."""
+    assert cache_key(_job(noise_cv=0.1)) != cache_key(_job(noise_cv=0.2))
+
+
+def test_key_changes_with_scheduler():
+    """Scheduler name is part of the key."""
+    wf = montage(size=15, seed=3)
+    a = make_job(wf, DEFAULT_CLUSTER_SPEC, scheduler="heft", seed=3)
+    b = make_job(wf, DEFAULT_CLUSTER_SPEC, scheduler="peft", seed=3)
+    assert cache_key(a) != cache_key(b)
+
+
+def test_key_changes_with_workflow():
+    """A different workflow document is a different cell."""
+    a = make_job(montage(size=15, seed=3), DEFAULT_CLUSTER_SPEC, seed=3)
+    b = make_job(montage(size=15, seed=4), DEFAULT_CLUSTER_SPEC, seed=3)
+    assert cache_key(a) != cache_key(b)
+
+
+def test_label_is_not_part_of_the_key():
+    """Labels are diagnostics; renaming a cell must not re-simulate it."""
+    wf = montage(size=15, seed=3)
+    a = make_job(wf, DEFAULT_CLUSTER_SPEC, seed=3, label="one")
+    b = make_job(wf, DEFAULT_CLUSTER_SPEC, seed=3, label="two")
+    assert cache_key(a) == cache_key(b)
+
+
+def test_key_survives_workflow_serialize_round_trip():
+    """doc -> Workflow -> doc yields the same key (no drift via rebuild)."""
+    wf = montage(size=15, seed=3)
+    doc = workflow_to_dict(wf)
+    doc2 = workflow_to_dict(workflow_from_dict(doc))
+    a = make_job(doc, DEFAULT_CLUSTER_SPEC, seed=3)
+    b = make_job(doc2, DEFAULT_CLUSTER_SPEC, seed=3)
+    assert cache_key(a) == cache_key(b)
+
+
+# ---------------------------------------------------------------------- #
+# restart stability                                                      #
+# ---------------------------------------------------------------------- #
+
+_CHILD_SCRIPT = """
+from repro.experiments.common import DEFAULT_CLUSTER_SPEC, make_job
+from repro.runner.hashing import cache_key
+from repro.workflows.generators import montage
+
+job = make_job(montage(size=15, seed=3), DEFAULT_CLUSTER_SPEC,
+               scheduler="heft", seed=3, noise_cv=0.1)
+print(cache_key(job))
+"""
+
+
+def test_key_is_stable_across_process_restarts():
+    """A fresh interpreter derives the identical key (PYTHONHASHSEED etc.)."""
+    expected = cache_key(_job())
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("PYTHONHASHSEED", None)  # let hash randomization vary freely
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True, text=True, env=env, cwd=os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        ),
+        check=True,
+    )
+    assert out.stdout.strip() == expected

@@ -1,0 +1,143 @@
+"""Factory-spec mini-language: objects as picklable, hashable data."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.platform import presets
+from repro.platform.cluster import Cluster
+from repro.runner.specs import (
+    FACTORY_KEY,
+    build,
+    factory_spec,
+    is_spec,
+    resolve_path,
+)
+from repro.schedulers.heft import HeftScheduler
+
+
+def test_factory_spec_records_module_and_qualname():
+    """A module-level callable is addressed by its import path."""
+    spec = factory_spec(presets.hybrid_cluster, nodes=2)
+    assert spec[FACTORY_KEY] == "repro.platform.presets:hybrid_cluster"
+    assert spec["kwargs"] == {"nodes": 2}
+
+
+def test_factory_spec_accepts_explicit_path_string():
+    """'module:qualname' strings pass straight through."""
+    spec = factory_spec("repro.platform.presets:hybrid_cluster", nodes=2)
+    assert build(spec).name  # builds a real cluster
+
+
+def test_factory_spec_rejects_lambda():
+    """Lambdas can't be re-imported in a worker; refuse loudly."""
+    with pytest.raises(ValueError, match="not importable"):
+        factory_spec(lambda: None)
+
+
+def test_factory_spec_rejects_local_function():
+    """Locally-defined callables have '<locals>' qualnames; refuse."""
+
+    def local_factory():
+        return 1
+
+    with pytest.raises(ValueError, match="not importable"):
+        factory_spec(local_factory)
+
+
+def test_factory_spec_rejects_bad_path_string():
+    """A path without a colon is not addressable."""
+    with pytest.raises(ValueError, match="module:qualname"):
+        factory_spec("no_colon_here")
+
+
+def test_factory_spec_sorts_kwargs():
+    """kwargs are stored sorted so insertion order can't leak into keys."""
+    a = factory_spec(presets.hybrid_cluster, nodes=2, cores_per_node=2)
+    b = factory_spec(presets.hybrid_cluster, cores_per_node=2, nodes=2)
+    assert list(a["kwargs"]) == list(b["kwargs"]) == ["cores_per_node", "nodes"]
+    assert a == b
+
+
+def test_factory_spec_normalizes_tuples_to_lists():
+    """Tuples become lists so a spec equals its JSON round-trip."""
+    spec = factory_spec("m:f", (1, 2, (3,)))
+    assert spec["args"] == [[1, 2, [3]]]
+
+
+def test_factory_spec_rejects_live_objects():
+    """Object arguments must themselves be wrapped in factory specs."""
+    with pytest.raises(TypeError, match="factory_spec"):
+        factory_spec(presets.hybrid_cluster, model=HeftScheduler())
+
+
+def test_nested_spec_as_argument():
+    """Factory specs may nest: the inner spec is just dict data."""
+    inner = factory_spec(presets.hybrid_cluster, nodes=2)
+    outer = factory_spec("builtins:list", [inner])
+    # Only checking it is representable + picklable, not buildable.
+    assert pickle.loads(pickle.dumps(outer)) == outer
+
+
+def test_is_spec():
+    """Only dicts carrying the marker key count as factory nodes."""
+    assert is_spec({FACTORY_KEY: "m:f"})
+    assert not is_spec({"factory": "m:f"})
+    assert not is_spec("m:f")
+    assert not is_spec(None)
+
+
+def test_resolve_path_walks_qualname():
+    """Dotted qualnames resolve attribute chains (classmethods etc.)."""
+    from repro.faults.recovery import RecoveryPolicy
+
+    assert resolve_path("repro.faults.recovery:RecoveryPolicy.retry") is (
+        RecoveryPolicy.retry
+    )
+
+
+def test_resolve_path_rejects_malformed():
+    """Missing module or attribute text is a loud error."""
+    with pytest.raises(ValueError):
+        resolve_path("just_a_module")
+    with pytest.raises(ValueError):
+        resolve_path(":attr_only")
+
+
+def test_build_materializes_cluster():
+    """build() of a preset spec yields a live, usable Cluster."""
+    spec = factory_spec(
+        presets.hybrid_cluster, nodes=2, cores_per_node=2, gpus_per_node=1
+    )
+    cluster = build(spec)
+    assert isinstance(cluster, Cluster)
+    assert len(cluster.nodes) == 2
+
+
+def test_build_recurses_containers_and_passes_scalars():
+    """Containers are rebuilt element-wise; plain values pass through."""
+    spec = {
+        "seed": 3,
+        "things": [1, factory_spec("builtins:int", "7")],
+        "nested": {"x": factory_spec("builtins:float", "0.5")},
+    }
+    out = build(spec)
+    assert out == {"seed": 3, "things": [1, 7], "nested": {"x": 0.5}}
+
+
+def test_build_twice_gives_equal_but_distinct_objects():
+    """Every build call constructs fresh objects (no hidden sharing)."""
+    spec = factory_spec(presets.hybrid_cluster, nodes=2)
+    c1, c2 = build(spec), build(spec)
+    assert c1 is not c2
+    assert c1.describe() == c2.describe()
+
+
+def test_specs_survive_pickle():
+    """Specs are plain data: pickling is exact (pool transport)."""
+    spec = factory_spec(
+        presets.hybrid_cluster, nodes=4, cores_per_node=4, gpus_per_node=1
+    )
+    assert pickle.loads(pickle.dumps(spec)) == spec

@@ -1,0 +1,55 @@
+"""Regression: suite seeds are a property of the suite name, not position.
+
+``suite_workflows`` used to derive each suite's generator seed from its
+position *in the requested subset* (``enumerate(names)``), so asking for
+``("ligo",)`` built a different LIGO than asking for all five suites —
+and two experiments sharing a seed could silently disagree about what
+"the LIGO workflow" was.  Seeds now come from the canonical offset table
+keyed by name.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SUITE_SEED_OFFSETS, SUITES, suite_workflows
+from repro.workflows.generators import SCIENTIFIC_SUITES
+from repro.workflows.serialize import workflow_to_dict
+
+
+def _doc(wf):
+    return workflow_to_dict(wf)
+
+
+def test_subset_matches_full_call():
+    """Requesting one suite yields the workflow the full call yields."""
+    full = suite_workflows(size=20, seed=3)
+    for name in SUITES:
+        alone = suite_workflows(size=20, seed=3, names=(name,))
+        assert _doc(alone[name]) == _doc(full[name]), (
+            f"{name} built alone differs from {name} built with all suites"
+        )
+
+
+def test_request_order_is_irrelevant():
+    """Permuting the names argument never changes any workflow."""
+    forward = suite_workflows(size=20, seed=3, names=SUITES)
+    backward = suite_workflows(size=20, seed=3, names=tuple(reversed(SUITES)))
+    for name in SUITES:
+        assert _doc(forward[name]) == _doc(backward[name])
+
+
+def test_distinct_suites_get_distinct_seeds():
+    """Offsets are injective: no two suites share a generator seed."""
+    offsets = [SUITE_SEED_OFFSETS[name] for name in SCIENTIFIC_SUITES]
+    assert len(set(offsets)) == len(offsets)
+
+
+def test_offsets_cover_every_known_suite():
+    """Every registered suite has a canonical offset (future-proofing)."""
+    assert set(SCIENTIFIC_SUITES) <= set(SUITE_SEED_OFFSETS)
+
+
+def test_canonical_block_keeps_historical_offsets():
+    """The five canonical suites keep their original 0..4 offsets, so the
+    full-call workflows (and every golden fixture derived from them)
+    are unchanged by the fix."""
+    assert [SUITE_SEED_OFFSETS[n] for n in SUITES] == [0, 1, 2, 3, 4]
