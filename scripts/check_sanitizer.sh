@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-2 sanitizer gate (referenced from ROADMAP.md).
+#
+# Proves the invariant-checking layer end to end:
+#   1. the sanitizer's own suite — mutation self-tests (every check must
+#      fire on its seeded violation) plus strict clean runs under
+#      replication, faults, data loss and checkpointing;
+#   2. the executor edge-case suite, which runs fault/recovery scenarios
+#      with sanitize=True;
+#   3. the golden-regression grid re-run with REPRO_SANITIZE=1 — the
+#      sanitizer must neither flag the pinned grid nor perturb a single
+#      makespan (it is a pure observer);
+#   4. live CLI cross-checks — a handful of experiments under --sanitize.
+#
+# Usage: bash scripts/check_sanitizer.sh   (from the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== sanitizer self-tests + executor edge cases =="
+python -m pytest -q tests/test_sanitizer.py tests/test_executor_edges.py
+
+echo "== golden grid under an always-on sanitizer =="
+REPRO_SANITIZE=1 python -m pytest -q tests/test_golden_regression.py
+
+echo "== CLI cross-check: repro-flow exp --sanitize =="
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+for exp in t1 f2 f3; do
+    echo "-- exp $exp --sanitize"
+    python -m repro.cli exp "$exp" --jobs 1 --cache-dir "$workdir/cache" \
+        --sanitize > "$workdir/$exp.txt"
+done
+
+echo "sanitizer gate: OK"

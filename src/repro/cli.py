@@ -55,6 +55,7 @@ def cmd_run(args) -> int:
     result = run_workflow(
         wf, cluster, scheduler=args.scheduler, mode=args.mode,
         seed=args.seed, noise_cv=args.noise,
+        sanitize=True if args.sanitize else None,
     )
     print(f"workflow : {wf.name} ({wf.n_tasks} tasks, {wf.n_edges} edges)")
     print(f"cluster  : {cluster.describe()}")
@@ -112,6 +113,17 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         help="directory for the on-disk result cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="audit every run with the simulation sanitizer")
+
+
+def _sanitize_overrides(args):
+    """A context manager applying --sanitize to every cell of the block."""
+    from repro.experiments.common import use_run_overrides
+
+    if getattr(args, "sanitize", False):
+        return use_run_overrides(sanitize=True)
+    return use_run_overrides()  # no-op
 
 
 def cmd_exp(args) -> int:
@@ -119,7 +131,7 @@ def cmd_exp(args) -> int:
     from repro.runner import use_runner
 
     runner = EXPERIMENTS[args.id]
-    with use_runner(_campaign_runner(args)):
+    with use_runner(_campaign_runner(args)), _sanitize_overrides(args):
         result = runner(quick=not args.full, seed=args.seed)
     print(result.render())
     return 0
@@ -135,10 +147,11 @@ def cmd_campaign(args) -> int:
             print(f"unknown experiment {exp_id!r}; see `repro-flow list`",
                   file=sys.stderr)
             return 2
-    report = run_campaign(
-        ids, runner=_campaign_runner(args),
-        quick=not args.full, seed=args.seed,
-    )
+    with _sanitize_overrides(args):
+        report = run_campaign(
+            ids, runner=_campaign_runner(args),
+            quick=not args.full, seed=args.seed,
+        )
     for exp_id in ids:
         print(report.results[exp_id].render())
         print()
@@ -217,6 +230,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--gantt", action="store_true", help="print ASCII Gantt")
     p_run.add_argument("--breakdown", action="store_true",
                        help="print per-category/class profiling tables")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="audit the run with the simulation sanitizer")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare schedulers")

@@ -107,7 +107,45 @@ class AdaptivePolicy(ExecutionPolicy):
             decisions.extend(
                 self._steal(executor, claimed_devices, claimed_tasks)
             )
+        decisions.extend(self._rescue_orphans(executor, decisions))
         return decisions
+
+    def _rescue_orphans(self, executor, decisions) -> List[Decision]:
+        """Dispatch ready tasks that dropped out of every plan queue.
+
+        A task can be queued nowhere: a re-plan treats RUNNING tasks as
+        placed, so one whose clones all crash afterwards returns to READY
+        with no queue holding it.  Head dispatch and stealing only serve
+        queued tasks, so without this pass such a task would never run
+        again and the simulation would stall with work still ready.
+        """
+        dispatched = {d[0] for d in decisions}
+        used_devices = {d[1].uid for d in decisions}
+        queued = {t for q in self._queues.values() for t in q}
+        orphans = sorted(
+            (t for t in executor.ready_tasks()
+             if t not in dispatched and t not in queued),
+            key=lambda t: (-self._ranks.get(t, 0.0), t),
+        )
+        if not orphans:
+            return []
+        rescued: List[Decision] = []
+        idle = [
+            d for d in executor.free_devices() if d.uid not in used_devices
+        ]
+        for task in orphans:
+            best = None
+            for device in idle:
+                if not executor.eligible(task, device):
+                    continue
+                est = self._context.exec_time(task, device.uid)
+                if best is None or est < best[0]:
+                    best = (est, device)
+            if best is not None:
+                _est, device = best
+                rescued.append((task, device, None))
+                idle.remove(device)
+        return rescued
 
     def _steal(self, executor, claimed_devices, claimed_tasks) -> List[Decision]:
         """Match idle devices with ready tasks stuck behind busy devices."""
@@ -152,11 +190,13 @@ class AdaptivePolicy(ExecutionPolicy):
                 decisions.append((task, device, None))
                 idle.remove(device)
                 self.steals += 1
-                # The stolen task leaves its planned queue immediately so
-                # head dispatch does not double-issue it.
-                queue = self._queues.get(planned_uid)
-                if queue and task in queue:
-                    queue.remove(task)
+                # The stolen task stays in its planned queue: the executor
+                # may still reject this decision (e.g. the device was taken
+                # by a replica fan-out this round), and eager removal would
+                # orphan the task from every queue.  ``on_task_done``
+                # removes it from wherever it lives once it completes, and
+                # while RUNNING it is not in ``ready`` so head dispatch
+                # cannot double-issue it.
         return decisions
 
     def on_task_done(self, executor, task_name: str, device: Device) -> None:
@@ -198,16 +238,35 @@ class AdaptivePolicy(ExecutionPolicy):
         unstarted: List[str] = []
         for name, rec in executor.records.items():
             if rec.state == "done":
-                seeded.add(name, rec.device, min(rec.start, rec.finish), rec.finish)
+                # rec.start is the task's *first* execution start, which
+                # after a retry may lie on a different device; seed the
+                # winning clone's own interval on the recorded device.
+                if rec.winner_duration is not None:
+                    started = rec.finish - rec.winner_duration
+                else:
+                    started = rec.start
+                seeded.add(name, rec.device, min(started, rec.finish), rec.finish)
             elif rec.state == "running":
-                # A task still staging its inputs has no execution start
-                # yet; treat `now` as its start for seeding purposes.
-                started = rec.start if rec.start is not None else now
-                expected = self._expected_finish(executor, rec)
+                # Seed the *current* attempt's interval: rec.start keeps
+                # the task's first execution start, which after a retry
+                # belongs to an earlier attempt (possibly on another
+                # device).  A clone still staging inputs has no execution
+                # start yet; treat `now` as its start.
+                clones = executor._clones.get(name, {})
+                clone = clones.get(rec.device)
+                if clone is None and clones:
+                    clone = next(iter(clones.values()))
+                if clone is not None and clone.exec_start is not None:
+                    started = clone.exec_start
+                else:
+                    started = now
+                expected = self._expected_finish(executor, rec, started)
                 seeded.add(name, rec.device, min(started, expected), expected)
                 seeded.dvfs_choice.update(
                     {name: self._dvfs[name]} if name in self._dvfs else {}
                 )
+            elif rec.state == "dead":
+                continue  # exhausted its retry budget; not plannable
             else:
                 unstarted.append(name)
 
@@ -243,6 +302,14 @@ class AdaptivePolicy(ExecutionPolicy):
 
         alive = {d.uid for d in executor.cluster.alive_devices()}
         for name in unstarted:
+            # EFT placement needs every predecessor's finish; a pred that
+            # is dead (or was itself unplaceable) has no assignment, so
+            # this task cannot be planned either.
+            if any(
+                pred not in seeded.assignments
+                for pred in wf.predecessors(name)
+            ):
+                continue
             candidates = [
                 cand
                 for cand in hdws._candidates(
@@ -250,7 +317,7 @@ class AdaptivePolicy(ExecutionPolicy):
                 )
                 if cand[0].uid in alive
             ]
-            if not candidates:  # pragma: no cover - defensive
+            if not candidates:  # no alive eligible device remains
                 continue
             device, start, finish = hdws._pick(candidates)
             seeded.add(name, device.uid, start, finish)
@@ -264,10 +331,10 @@ class AdaptivePolicy(ExecutionPolicy):
         self._plan = new_plan
         self._rebuild_queues(new_plan, skip_done_running=executor)
 
-    def _expected_finish(self, executor, rec) -> float:
+    def _expected_finish(self, executor, rec, started: float) -> float:
         """Best guess at a running task's finish for seeding the re-plan."""
         est = self._context.exec_time(rec.name, rec.device)
-        expected = (rec.start if rec.start is not None else executor.now) + est
+        expected = started + est
         if expected <= executor.now:
             # Already overdue: assume it needs as much again as planned.
             expected = executor.now + est * 0.5

@@ -15,7 +15,9 @@ devices run hot copies.  Each clone independently:
 
 1. **stages** — every input is located via the catalog; remote replicas
    reserve contention-aware transfers (so schedulers that ignored locality
-   pay here); inputs are pinned in the node store for the duration;
+   pay here), are stored and catalog-registered only when the transfer
+   *arrives*, and concurrent clones join in-flight transfers instead of
+   paying twice; inputs are pinned in the node store for the duration;
 2. **executes** — the runtime is sampled from the execution model (the
    policy planned with *estimates*; the sample is the noisy truth), then
    stretched by checkpoint overhead and DVFS; the fault injector may crash
@@ -28,7 +30,12 @@ devices run hot copies.  Each clone independently:
 An attempt whose every clone crashed loses work per the recovery policy
 and the task re-enters the ready set (possibly for different devices)
 until its retry budget is exhausted — at which point the run is marked
-failed but keeps draining so partial metrics stay meaningful.
+failed (the task appears in ``ExecutionResult.dead_tasks``) but keeps
+draining so partial metrics stay meaningful.
+
+With ``sanitize=True`` (or ``REPRO_SANITIZE=1`` in the environment) a
+:class:`repro.sanitizer.Sanitizer` audits the run live through trace
+hooks and raises on any violated accounting invariant.
 """
 
 from __future__ import annotations
@@ -57,9 +64,25 @@ DONE = "done"
 DEAD = "dead"  # retry budget exhausted
 
 
+def _env_sanitize() -> bool:
+    """Whether REPRO_SANITIZE asks for always-on invariant checking."""
+    import os
+
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
 @dataclass
 class TaskRecord:
-    """Execution history of one task."""
+    """Execution history of one task.
+
+    ``start`` is the *earliest* execution start across every clone and
+    attempt (retries and hot replicas never overwrite it), ``finish`` the
+    winning clone's completion time, and ``winner_duration`` the winning
+    clone's own execution time — so ``finish - start`` includes staging
+    waits and retry churn while ``winner_duration`` is pure compute.
+    """
 
     name: str
     state: str = PENDING
@@ -67,11 +90,24 @@ class TaskRecord:
     device: Optional[str] = None
     start: Optional[float] = None
     finish: Optional[float] = None
+    #: Execution seconds of the clone that completed the task.
+    winner_duration: Optional[float] = None
     #: Fraction of the task's work already secured by checkpoints.
     progress_fraction: float = 0.0
     faults: int = 0
     #: Clones launched across all attempts (== attempts without replication).
     clones_launched: int = 0
+
+    # Audit hook (class attribute, not a dataclass field): the sanitizer
+    # installs a per-instance callback to observe state transitions.
+    _observer = None
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "state":
+            observer = self._observer
+            if observer is not None:
+                observer(self, getattr(self, "state", None), value)
+        object.__setattr__(self, name, value)
 
 
 @dataclass
@@ -102,6 +138,9 @@ class ExecutionResult:
     network_mb: float = 0.0
     staging_mb: float = 0.0
     evictions: int = 0
+    #: Tasks whose retry budget was exhausted (sorted); non-empty implies
+    #: ``success`` is False.
+    dead_tasks: List[str] = field(default_factory=list)
 
     @property
     def completed_tasks(self) -> int:
@@ -127,6 +166,7 @@ class WorkflowExecutor:
         failure_horizon: Optional[float] = None,
         trace: Optional[TraceRecorder] = None,
         release_times: Optional[Dict[str, float]] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.workflow = workflow
         self.cluster = cluster
@@ -157,12 +197,25 @@ class WorkflowExecutor:
         self.busy_devices: Set[str] = set()
         self._running_on: Dict[str, str] = {}  # device uid -> task
         self._clones: Dict[str, Dict[str, _Clone]] = {}  # task -> uid -> clone
+        #: In-flight replica pulls: (node, file) -> arrival time.  Clones
+        #: needing a file already on the wire join the pending transfer
+        #: instead of paying for (and double-counting) a second one.
+        self._inflight: Dict[Tuple[str, str], float] = {}
         self._run_failed = False
         self._retries = 0
         self._regenerations = 0
         self._task_faults = 0
         self._device_faults = 0
         self._preemptions = 0
+
+        if sanitize is None:
+            sanitize = _env_sanitize()
+        self.sanitizer = None
+        if sanitize:
+            from repro.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+            self.sanitizer.attach()
 
     # ------------------------------------------------------------------ #
     # public API                                                         #
@@ -200,8 +253,11 @@ class WorkflowExecutor:
 
         done = [r for r in self.records.values() if r.state == DONE]
         makespan = max((r.finish for r in done), default=0.0)
-        success = len(done) == len(self.records)
-        return ExecutionResult(
+        dead = sorted(
+            name for name, r in self.records.items() if r.state == DEAD
+        )
+        success = not dead and len(done) == len(self.records)
+        result = ExecutionResult(
             success=success,
             makespan=makespan,
             records=self.records,
@@ -214,7 +270,11 @@ class WorkflowExecutor:
             network_mb=self.cluster.interconnect.total_traffic_mb(),
             staging_mb=self.cluster.storage_bytes_served_mb,
             evictions=sum(s.evictions for s in self.stores.values()),
+            dead_tasks=dead,
         )
+        if self.sanitizer is not None:
+            self.sanitizer.finalize(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # state helpers the policies consult                                 #
@@ -253,8 +313,24 @@ class WorkflowExecutor:
         rec = self.records[name]
         if rec.state in (RUNNING, DONE, DEAD):
             return
+        if self._device_faults and self._stranded(name):
+            self._mark_dead(name, cause="stranded")
+            return
         rec.state = READY
         self.ready.add(name)
+
+    def _stranded(self, name: str) -> bool:
+        """Whether no alive device can ever run the task."""
+        return not any(
+            self.eligible(name, d) for d in self.cluster.alive_devices()
+        )
+
+    def _mark_dead(self, name: str, cause: str) -> None:
+        """Surface a task that can never complete; the run has failed."""
+        self.ready.discard(name)
+        self.records[name].state = DEAD
+        self._run_failed = True
+        self.trace.record(self.now, "task.dead", task=name, cause=cause)
 
     def _maybe_ready(self, name: str) -> None:
         """Mark ready now, or at the task's release time (online arrivals)."""
@@ -270,18 +346,28 @@ class WorkflowExecutor:
             self._dispatch()
 
     def _dispatch(self) -> None:
-        """Ask the policy for assignments until it has none to give."""
-        if not self.ready:
-            return
-        decisions = self.policy.select(self)
-        for decision in decisions:
-            task_name, device = decision[0], decision[1]
-            dvfs = decision[2] if len(decision) > 2 else None
-            if task_name not in self.ready:
-                continue
-            if device.uid in self.busy_devices or device.failed:
-                continue
-            self._begin_task(task_name, device, dvfs)
+        """Ask the policy for assignments until it has none to give.
+
+        Re-selects after every productive round: beginning a task can make
+        *new* work ready in the same instant (a missing input sends the
+        task to PENDING and marks its regenerated producer READY), and
+        that work must get a dispatch opportunity now — the event queue
+        may hold nothing else to trigger one later.
+        """
+        while self.ready:
+            decisions = self.policy.select(self)
+            progress = False
+            for decision in decisions:
+                task_name, device = decision[0], decision[1]
+                dvfs = decision[2] if len(decision) > 2 else None
+                if task_name not in self.ready:
+                    continue
+                if device.uid in self.busy_devices or device.failed:
+                    continue
+                self._begin_task(task_name, device, dvfs)
+                progress = True
+            if not progress:
+                return
 
     def _begin_task(self, name: str, device: Device, dvfs_name: Optional[str]) -> None:
         # Missing inputs (lost to a node failure) force regeneration of the
@@ -302,7 +388,8 @@ class WorkflowExecutor:
         rec.state = RUNNING
         rec.attempts += 1
         rec.device = device.uid
-        rec.start = None
+        # rec.start is deliberately NOT reset: it keeps the true first
+        # execution start across retries and replication.
 
         devices = [device]
         for extra in self._replica_devices(name, exclude=device):
@@ -344,7 +431,19 @@ class WorkflowExecutor:
             decision = choose_source(
                 self.catalog, self.cluster, fname, f.size_mb, node
             )
-            if not decision.is_local:
+            if decision.is_local:
+                self.stores[node].touch(fname)
+                if self.stores[node].has(fname):
+                    self.stores[node].pin(fname)
+                    clone.pins.append(fname)
+                continue
+            # Remote replica: the file only becomes local when the transfer
+            # *arrives* — registration and storage happen then, never at
+            # reservation time (a sibling clone launched in between must
+            # not see the file as already present).  A transfer already on
+            # the wire for this (node, file) is joined, not duplicated.
+            end = self._inflight.get((node, fname))
+            if end is None:
                 if decision.source == ReplicaCatalog.STORAGE:
                     _s, end = self.cluster.reserve_staging(
                         node, self.now, f.size_mb
@@ -353,18 +452,17 @@ class WorkflowExecutor:
                     _s, end = self.cluster.reserve_transfer(
                         decision.source, node, self.now, f.size_mb
                     )
-                arrival = max(arrival, end)
+                self._inflight[(node, fname)] = end
                 self.trace.record(
                     self.now, "transfer.start", file=fname,
                     src=decision.source, dst=node, size_mb=f.size_mb,
                     arrives=end,
                 )
-                self._store_file(node, fname, f.size_mb)
-            else:
-                self.stores[node].touch(fname)
-            if self.stores[node].has(fname):
-                self.stores[node].pin(fname)
-                clone.pins.append(fname)
+            arrival = max(arrival, end)
+            self.sim.schedule_at(
+                end, self._on_transfer_arrival, name, device.uid, node,
+                fname, f.size_mb, priority=0,
+            )
 
         self.trace.record(
             self.now, "task.stage", task=name, device=device.uid,
@@ -373,6 +471,26 @@ class WorkflowExecutor:
         clone.event = self.sim.schedule_at(
             arrival, self._start_clone, name, device.uid, priority=1
         )
+
+    def _on_transfer_arrival(
+        self, name: str, device_uid: str, node: str, fname: str, size_mb: float
+    ) -> None:
+        """A reserved transfer delivered its bytes to the node.
+
+        The file lands regardless of whether the requesting clone is still
+        alive — the transfer was already paid for.  The clone (if alive)
+        pins its input now that it is resident.
+        """
+        self._inflight.pop((node, fname), None)
+        self._store_file(node, fname, size_mb)
+        clone = self._clones.get(name, {}).get(device_uid)
+        if (
+            clone is not None
+            and fname not in clone.pins
+            and self.stores[node].has(fname)
+        ):
+            self.stores[node].pin(fname)
+            clone.pins.append(fname)
 
     def _store_file(self, node: str, fname: str, size_mb: float) -> None:
         """Insert a replica into a node store, maintaining the catalog."""
@@ -447,9 +565,18 @@ class WorkflowExecutor:
         rec.state = DONE
         rec.finish = self.now
         rec.device = device_uid
-        rec.start = self.now - duration
+        # Keep rec.start as the earliest exec start (set in _start_clone);
+        # the winner's own execution time is recorded separately.
+        rec.winner_duration = duration
         rec.progress_fraction = 1.0
-        device.occupy(device.earliest_slot()[0], self.now - duration, self.now)
+        # Account the true busy interval from the clone's recorded start:
+        # reconstructing it as now - duration reintroduces float error that
+        # can overlap the previous task's interval on this device.
+        busy_from = (
+            clone.exec_start if clone.exec_start is not None
+            else self.now - duration
+        )
+        device.occupy(device.earliest_slot()[0], busy_from, self.now)
         self.trace.record(
             self.now, "task.finish", task=name, device=device.uid,
             duration=duration, energy_j=self._clone_energy(clone, duration),
@@ -501,8 +628,12 @@ class WorkflowExecutor:
             kept_seconds = crash_at - self.recovery.lost_work(crash_at)
             gained = (kept_seconds / duration) * (1.0 - rec.progress_fraction)
             rec.progress_fraction = min(1.0, rec.progress_fraction + gained)
+        busy_from = (
+            clone.exec_start if clone.exec_start is not None
+            else self.now - crash_at
+        )
         clone.device.occupy(
-            clone.device.earliest_slot()[0], self.now - crash_at, self.now
+            clone.device.earliest_slot()[0], busy_from, self.now
         )
         self._clone_failed(name, device_uid, progress=crash_at, cause="fault")
 
@@ -517,9 +648,10 @@ class WorkflowExecutor:
         self._clones.pop(name, None)
         rec = self.records[name]
         if rec.attempts > self.recovery.max_retries:
-            rec.state = DEAD
-            self._run_failed = True
-            self.trace.record(self.now, "task.dead", task=name)
+            self._mark_dead(name, cause="retries")
+        elif self._device_faults and self._stranded(name):
+            # Retries remain, but no alive device can run the task.
+            self._mark_dead(name, cause="stranded")
         else:
             self._retries += 1
             rec.state = READY
@@ -606,13 +738,20 @@ class WorkflowExecutor:
             )
             if not others_alive:
                 for fname in self.stores[node].files():
-                    if fname in self.stores[node]._pinned:
+                    if self.stores[node].is_pinned(fname):
                         continue
                     self.stores[node].remove(fname)
                     self.catalog.unregister(fname, node)
                     self.trace.record(
                         self.now, "data.lost", node=node, file=fname
                     )
+        # Ready tasks stranded by this failure (no alive eligible device
+        # left) can never run; surface the dead run instead of leaving
+        # them READY forever.
+        for name in sorted(self.ready):
+            if self._stranded(name):
+                self._mark_dead(name, cause="stranded")
+
         if hasattr(self.policy, "on_device_failure"):
             self.policy.on_device_failure(self, device)
         self._dispatch()

@@ -56,6 +56,9 @@ class RunConfig:
         governor: Idle-power governor for energy accounting.
         validate: Validate the workflow before running.
         max_time: Simulation safety horizon (virtual seconds).
+        sanitize: Attach the simulation sanitizer
+            (:class:`repro.sanitizer.Sanitizer`) to the run.  ``None``
+            defers to the ``REPRO_SANITIZE`` environment variable.
     """
 
     scheduler: Union[str, Scheduler] = "hdws"
@@ -70,6 +73,7 @@ class RunConfig:
     governor: Optional[IdleGovernor] = None
     validate: bool = True
     max_time: Optional[float] = None
+    sanitize: Optional[bool] = None
     #: Earliest permissible start per task (online arrivals); empty = all 0.
     release_times: Dict[str, float] = field(default_factory=dict)
 
@@ -156,6 +160,7 @@ class Orchestrator:
             fault_model=cfg.fault_model,
             failure_horizon=horizon,
             release_times=cfg.release_times,
+            sanitize=cfg.sanitize,
         )
         execution = executor.run(max_time=cfg.max_time)
         energy = account_energy(

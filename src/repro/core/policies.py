@@ -67,6 +67,7 @@ class StaticPolicy(ExecutionPolicy):
 
     def select(self, executor) -> List[Decision]:
         """Dispatch every device whose queue head is ready."""
+        self._requeue_orphans(executor)
         decisions: List[Decision] = []
         for uid in sorted(self._queues):
             queue = self._queues[uid]
@@ -82,6 +83,39 @@ class StaticPolicy(ExecutionPolicy):
             if head in executor.ready:
                 decisions.append((head, device, self._dvfs.get(head)))
         return decisions
+
+    def _requeue_orphans(self, executor) -> None:
+        """Put ready-but-unqueued tasks back into a plan queue.
+
+        A regenerated producer (its output was lost to a node failure) was
+        popped from its queue when it first completed; without requeueing
+        it would never dispatch again and the run would stall.  It goes to
+        the head of its planned device's queue — its planned start lies in
+        the past and a consumer is already waiting on it.
+        """
+        queued = {t for q in self._queues.values() for t in q}
+        for name in executor.ready_tasks():
+            if name in queued:
+                continue
+            planned = self.schedule.assignments.get(name)
+            uid = planned.device if planned is not None else None
+            queue = None
+            if uid is not None and uid in self._queues:
+                try:
+                    if not executor.cluster.device(uid).failed:
+                        queue = self._queues[uid]
+                except KeyError:  # pragma: no cover - defensive
+                    queue = None
+            if queue is None:
+                candidates = [
+                    d for d in executor.cluster.alive_devices()
+                    if executor.eligible(name, d)
+                ]
+                if not candidates:
+                    continue
+                target = min(candidates, key=lambda d: d.uid)
+                queue = self._queues.setdefault(target.uid, [])
+            queue.insert(0, name)
 
     def on_task_done(self, executor, task_name: str, device: Device) -> None:
         """Pop the completed task from its queue."""

@@ -9,7 +9,7 @@ must not vanish mid-execution).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Set
+from typing import Dict, List
 
 
 class EvictionError(RuntimeError):
@@ -17,7 +17,12 @@ class EvictionError(RuntimeError):
 
 
 class NodeStore:
-    """LRU-managed local store of one node."""
+    """LRU-managed local store of one node.
+
+    Pins are *reference counted*: several concurrently running clones may
+    pin the same input, and the file only becomes evictable again once
+    every one of them has unpinned it.
+    """
 
     def __init__(self, node: str, capacity_mb: float) -> None:
         if capacity_mb <= 0:
@@ -25,7 +30,7 @@ class NodeStore:
         self.node = node
         self.capacity_mb = capacity_mb
         self._files: "OrderedDict[str, float]" = OrderedDict()  # name -> MB
-        self._pinned: Set[str] = set()
+        self._pins: Dict[str, int] = {}  # name -> refcount
         self.evictions = 0
         self.bytes_evicted_mb = 0.0
 
@@ -49,14 +54,26 @@ class NodeStore:
             self._files.move_to_end(file_name)
 
     def pin(self, file_name: str) -> None:
-        """Protect a resident file from eviction."""
+        """Protect a resident file from eviction (refcounted)."""
         if file_name not in self._files:
             raise KeyError(f"cannot pin absent file {file_name!r} on {self.node}")
-        self._pinned.add(file_name)
+        self._pins[file_name] = self._pins.get(file_name, 0) + 1
 
     def unpin(self, file_name: str) -> None:
-        """Allow eviction again (no-op if not pinned)."""
-        self._pinned.discard(file_name)
+        """Drop one pin reference (no-op if not pinned)."""
+        count = self._pins.get(file_name, 0)
+        if count <= 1:
+            self._pins.pop(file_name, None)
+        else:
+            self._pins[file_name] = count - 1
+
+    def is_pinned(self, file_name: str) -> bool:
+        """Whether at least one live pin protects the file."""
+        return file_name in self._pins
+
+    def pinned_files(self) -> List[str]:
+        """Currently pinned files, sorted (for audits and diagnostics)."""
+        return sorted(self._pins)
 
     def put(self, file_name: str, size_mb: float) -> List[str]:
         """Store a file, evicting LRU unpinned files as needed.
@@ -90,7 +107,7 @@ class NodeStore:
 
     def remove(self, file_name: str) -> None:
         """Drop a file (no-op if absent); pinned files cannot be dropped."""
-        if file_name in self._pinned:
+        if self.is_pinned(file_name):
             raise ValueError(f"cannot remove pinned file {file_name!r}")
         self._files.pop(file_name, None)
 
@@ -100,7 +117,7 @@ class NodeStore:
 
     def _lru_unpinned(self):
         for name in self._files:
-            if name not in self._pinned:
+            if name not in self._pins:
                 return name
         return None
 

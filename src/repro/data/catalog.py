@@ -7,7 +7,7 @@ at run start, and any file may be archived back to it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 
 class ReplicaCatalog:
@@ -18,13 +18,21 @@ class ReplicaCatalog:
 
     def __init__(self) -> None:
         self._locations: Dict[str, Set[str]] = {}
+        #: Optional audit hook called as ``observer(op, file_name, location)``
+        #: with ``op`` in {"register", "unregister"} *before* the mutation.
+        #: Used by the sanitizer to timestamp catalog changes.
+        self.observer: Optional[Callable[[str, str, str], None]] = None
 
     def register(self, file_name: str, location: str) -> None:
         """Record that ``location`` now holds a replica of ``file_name``."""
+        if self.observer is not None:
+            self.observer("register", file_name, location)
         self._locations.setdefault(file_name, set()).add(location)
 
     def unregister(self, file_name: str, location: str) -> None:
         """Remove a replica record (no-op if absent)."""
+        if self.observer is not None:
+            self.observer("unregister", file_name, location)
         locs = self._locations.get(file_name)
         if locs is not None:
             locs.discard(location)

@@ -12,8 +12,9 @@ path, results are bit-identical for any ``jobs`` setting and cache state.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.platform import presets
 from repro.platform.cluster import Cluster
@@ -109,6 +110,29 @@ def scheduler_spec(scheduler: Union[str, Scheduler, Dict[str, Any]]):
     )
 
 
+#: Process-wide RunConfig overrides merged into every cell built by
+#: :func:`make_job` (overrides win).  Set via :func:`use_run_overrides`.
+_RUN_OVERRIDES: Dict[str, Any] = {}
+
+
+@contextmanager
+def use_run_overrides(**overrides: Any) -> Iterator[None]:
+    """Force RunConfig fields onto every cell described inside the block.
+
+    The CLI uses this to thread cross-cutting flags (``--sanitize``)
+    through experiment runners without changing their signatures.  Note
+    the overrides become part of each cell's config and therefore of its
+    cache key: sanitized and unsanitized runs never share cache entries.
+    """
+    previous = dict(_RUN_OVERRIDES)
+    _RUN_OVERRIDES.update(overrides)
+    try:
+        yield
+    finally:
+        _RUN_OVERRIDES.clear()
+        _RUN_OVERRIDES.update(previous)
+
+
 def make_job(
     workflow: Union[Workflow, Dict[str, Any]],
     cluster: Dict[str, Any],
@@ -125,6 +149,8 @@ def make_job(
     factory specs.
     """
     doc = workflow if isinstance(workflow, dict) else workflow_to_dict(workflow)
+    if _RUN_OVERRIDES:
+        config = {**config, **_RUN_OVERRIDES}
     return SimJob(
         workflow=doc,
         cluster=cluster,

@@ -147,6 +147,26 @@ class Device:
                 total += end - start
         return total
 
+    def max_concurrent_intervals(self) -> int:
+        """Peak number of simultaneously open busy intervals.
+
+        A correctly accounted device never has more overlapping busy
+        intervals than it has slots; the sanitizer audits exactly that.
+        Zero-length intervals are ignored, and an interval ending at the
+        instant another begins does not count as overlap.
+        """
+        events: List[Tuple[float, int]] = []
+        for start, end in self.busy_intervals:
+            if end > start:
+                events.append((start, 1))
+                events.append((end, -1))
+        events.sort(key=lambda ev: (ev[0], ev[1]))  # close before open at ties
+        current = peak = 0
+        for _time, delta in events:
+            current += delta
+            peak = max(peak, current)
+        return peak
+
     def utilization(self, makespan: float) -> float:
         """Fraction of [0, makespan] this device spent busy."""
         if makespan <= 0:

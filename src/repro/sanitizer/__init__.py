@@ -1,0 +1,461 @@
+"""Cross-layer invariant checking for simulated executions.
+
+The executor, data layer, platform layer and fault machinery interact in
+ways that are easy to get subtly wrong: a replica registered before its
+transfer arrived, a busy interval double-booked on one device, energy
+attributed to a clone that never burnt it.  End-to-end regression numbers
+do not catch these — a run can produce a plausible makespan while its
+internal accounting is broken.
+
+:class:`Sanitizer` audits a live :class:`~repro.core.executor.WorkflowExecutor`
+through trace hooks (plus two tiny observer hooks on the replica catalog
+and the task records) and checks conservation laws *as the run unfolds*:
+
+* ``input-before-arrival`` / ``input-missing`` / ``input-not-local`` —
+  every clone's inputs are resident (or deliberately streamed past an
+  overflowing store) on its node at its true execution start;
+* ``catalog-time-travel`` — a replica is never catalog-registered at a
+  node before its transfer's arrival time;
+* ``pinned-evicted`` — pinned files never leave a node store, neither by
+  LRU eviction nor by node-loss cleanup;
+* ``clone-energy`` — every traced clone energy figure equals the clone's
+  busy power (in its DVFS state) times its busy seconds;
+* ``illegal-transition`` — task records only take legal lifecycle
+  transitions (no resurrection of DEAD tasks, no READY→DONE shortcuts);
+
+and conservation laws at the end of the run (:meth:`Sanitizer.finalize`):
+
+* ``busy-overlap`` — per device, busy intervals never overlap beyond the
+  device's slot count;
+* ``catalog-coherence`` — node stores and the replica catalog agree
+  exactly on which files are resident where;
+* ``pin-leak`` — once the run has drained, no pin references remain;
+* the pure-result audits of :func:`audit_result` (record sanity, makespan
+  consistency, ``dead_tasks``/``success`` agreement, trace cross-counts).
+
+Violations are collected; in ``strict`` mode (the default) the executor's
+``run()`` raises :class:`SanitizerError` listing them.  Enable per run
+with ``sanitize=True`` (executor/``RunConfig``), the ``--sanitize`` CLI
+flag, or globally with ``REPRO_SANITIZE=1`` — the test suite runs with
+the latter always on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.data.catalog import ReplicaCatalog
+
+#: Time/energy comparison tolerance (floating-point slack, not semantics).
+TOL = 1e-9
+
+#: Legal task-record lifecycle transitions (see core.executor states).
+LEGAL_TRANSITIONS: Set[Tuple[str, str]] = {
+    ("pending", "ready"),    # dependencies met / release time reached
+    ("ready", "running"),    # dispatched
+    ("ready", "pending"),    # inputs lost, waiting on regeneration
+    ("running", "done"),     # a clone finished
+    ("running", "ready"),    # attempt crashed, retry budget remains
+    ("running", "dead"),     # retry budget exhausted
+    ("ready", "dead"),       # stranded: no alive eligible device left
+    ("pending", "dead"),     # stranded at the moment it would become ready
+    ("done", "pending"),     # output lost, producer regenerates
+}
+
+
+class SanitizerError(RuntimeError):
+    """Raised in strict mode when a run violated at least one invariant."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    check: str
+    time: float
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] t={self.time:.6g}: {self.message}"
+
+
+class Sanitizer:
+    """Live invariant checker for one :class:`WorkflowExecutor` run."""
+
+    def __init__(self, executor, strict: bool = True) -> None:
+        self.executor = executor
+        self.strict = strict
+        self.violations: List[Violation] = []
+        #: (node, file) -> arrival time of the transfer currently on the wire.
+        self._inflight: Dict[Tuple[str, str], float] = {}
+        #: (node, file) pairs streamed past an overflowing store.
+        self._overflowed: Set[Tuple[str, str]] = set()
+        self._attached = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def attach(self) -> None:
+        """Install trace/catalog/record hooks on the executor."""
+        if self._attached:
+            return
+        ex = self.executor
+        ex.trace.subscribe(self._on_trace)
+        ex.catalog.observer = self._on_catalog
+        for rec in ex.records.values():
+            rec._observer = self._on_state_change
+        self._attached = True
+
+    def detach(self) -> None:
+        """Remove every hook (the executor keeps running unaudited)."""
+        if not self._attached:
+            return
+        ex = self.executor
+        ex.trace.unsubscribe(self._on_trace)
+        if ex.catalog.observer == self._on_catalog:
+            ex.catalog.observer = None
+        for rec in ex.records.values():
+            if rec._observer == self._on_state_change:
+                rec._observer = None
+        self._attached = False
+
+    def flag(self, check: str, message: str) -> None:
+        """Record one violation at the executor's current virtual time."""
+        self.violations.append(
+            Violation(check, float(self.executor.now), message)
+        )
+
+    def report(self) -> str:
+        """Human-readable summary of all violations (empty string if none)."""
+        return "\n".join(str(v) for v in self.violations)
+
+    # ------------------------------------------------------------------ #
+    # live hooks                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _on_trace(self, rec) -> None:
+        kind = rec.kind
+        if kind == "transfer.start":
+            key = (rec.get("dst"), rec.get("file"))
+            self._inflight[key] = float(rec.get("arrives", rec.time))
+        elif kind == "store.overflow":
+            self._overflowed.add((rec.get("node"), rec.get("file")))
+        elif kind == "task.start":
+            self._check_inputs_at_start(rec)
+        elif kind == "task.finish":
+            self._check_clone_energy(rec, rec.get("duration"))
+        elif kind == "task.preempt":
+            self._check_clone_energy(rec, rec.get("duration"))
+        elif kind == "fault.task":
+            self._check_clone_energy(rec, rec.get("at_offset"))
+        elif kind in ("store.evict", "data.lost"):
+            self._check_eviction_unpinned(rec)
+
+    def _on_catalog(self, op: str, fname: str, location: str) -> None:
+        if op != "register" or location == ReplicaCatalog.STORAGE:
+            return
+        if location not in self.executor.stores:
+            return
+        arrives = self._inflight.pop((location, fname), None)
+        if arrives is not None and self.executor.now < arrives - TOL:
+            self.flag(
+                "catalog-time-travel",
+                f"file {fname!r} registered at {location} at "
+                f"t={self.executor.now:.6g} but its transfer only arrives "
+                f"at t={arrives:.6g}",
+            )
+
+    def _on_state_change(self, record, old: Optional[str], new: str) -> None:
+        if old is None or old == new:
+            return  # dataclass construction / idempotent set
+        if (old, new) not in LEGAL_TRANSITIONS:
+            self.flag(
+                "illegal-transition",
+                f"task {record.name!r} took illegal transition "
+                f"{old!r} -> {new!r}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # individual checks                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _check_inputs_at_start(self, rec) -> None:
+        """A clone's inputs must be resident on its node when it starts."""
+        ex = self.executor
+        task_name, uid = rec.get("task"), rec.get("device")
+        clone = ex._clones.get(task_name, {}).get(uid)
+        if clone is None:
+            return
+        node = clone.node
+        task = ex.workflow.tasks.get(task_name)
+        if task is None:
+            return
+        for fname in task.inputs:
+            arrives = self._inflight.get((node, fname))
+            if arrives is not None and rec.time < arrives - TOL:
+                self.flag(
+                    "input-before-arrival",
+                    f"task {task_name!r} started on {uid} at "
+                    f"t={rec.time:.6g} before input {fname!r} arrives at "
+                    f"t={arrives:.6g}",
+                )
+            elif (
+                not ex.stores[node].has(fname)
+                and (node, fname) not in self._overflowed
+            ):
+                if not ex.catalog.exists(fname):
+                    self.flag(
+                        "input-missing",
+                        f"task {task_name!r} started with no replica of "
+                        f"input {fname!r} anywhere",
+                    )
+                else:
+                    self.flag(
+                        "input-not-local",
+                        f"task {task_name!r} started on {uid} but input "
+                        f"{fname!r} is neither resident on {node} nor "
+                        f"streamed past an overflow",
+                    )
+
+    def _check_clone_energy(self, rec, busy_seconds) -> None:
+        """Traced clone energy must equal busy power x busy seconds."""
+        energy = rec.get("energy_j")
+        if energy is None or busy_seconds is None:
+            return
+        ex = self.executor
+        clone = ex._clones.get(rec.get("task"), {}).get(rec.get("device"))
+        if clone is None:
+            return
+        power = clone.device.spec.power
+        state = power.state(clone.dvfs_name) if clone.dvfs_name else None
+        expected = power.busy_power(state) * float(busy_seconds)
+        if not math.isclose(float(energy), expected, rel_tol=1e-6, abs_tol=1e-6):
+            self.flag(
+                "clone-energy",
+                f"task {rec.get('task')!r} on {rec.get('device')} attributed "
+                f"{float(energy):.6g} J over {float(busy_seconds):.6g}s busy; "
+                f"busy-power x busy-time gives {expected:.6g} J",
+            )
+
+    def _check_eviction_unpinned(self, rec) -> None:
+        """Files leaving a store (evict / node loss) must not be pinned."""
+        node, fname = rec.get("node"), rec.get("file")
+        store = self.executor.stores.get(node)
+        if store is not None and store.is_pinned(fname):
+            self.flag(
+                "pinned-evicted",
+                f"pinned file {fname!r} left the store on {node} "
+                f"({rec.kind})",
+            )
+
+    # ------------------------------------------------------------------ #
+    # end-of-run audit                                                   #
+    # ------------------------------------------------------------------ #
+
+    def finalize(self, result) -> None:
+        """Run the post-run conservation checks; raise in strict mode."""
+        ex = self.executor
+        self.violations.extend(audit_result(result, cluster=ex.cluster))
+
+        # Catalog/store coherence: a file is catalog-registered at a node
+        # exactly when the node store holds it.
+        for node, store in sorted(ex.stores.items()):
+            stored = set(store.files())
+            registered = set(ex.catalog.files_at(node))
+            for fname in sorted(stored - registered):
+                self.flag(
+                    "catalog-coherence",
+                    f"file {fname!r} resident on {node} but not registered",
+                )
+            for fname in sorted(registered - stored):
+                self.flag(
+                    "catalog-coherence",
+                    f"file {fname!r} registered at {node} but not resident",
+                )
+
+        # Pin balance: once nothing is in flight, every pin taken by a
+        # clone must have been released.
+        if not ex._clones:
+            for node, store in sorted(ex.stores.items()):
+                leaked = store.pinned_files()
+                if leaked:
+                    self.flag(
+                        "pin-leak",
+                        f"store on {node} still pins {leaked} after the "
+                        f"run drained",
+                    )
+
+        # Liveness: a drained event queue with tasks still READY/PENDING
+        # and no dead producer to blame means the run stalled — some
+        # dispatchable work was silently never dispatched.
+        dead_names = {
+            name for name, r in result.records.items() if r.state == "dead"
+        }
+        if ex.sim.pending == 0 and not dead_names:
+            stuck = sorted(
+                name
+                for name, r in result.records.items()
+                if r.state in ("pending", "ready")
+            )
+            if stuck:
+                self.flag(
+                    "stalled-run",
+                    f"event queue drained with undispatched work: {stuck}",
+                )
+
+        # Run-failure surfacing: the internal flag, the dead list and the
+        # success verdict must tell one story.
+        dead = sorted(
+            name for name, r in result.records.items() if r.state == "dead"
+        )
+        if bool(dead) != ex._run_failed:
+            self.flag(
+                "dead-accounting",
+                f"_run_failed={ex._run_failed} but dead tasks are {dead}",
+            )
+
+        if self.strict and self.violations:
+            raise SanitizerError(
+                "simulation sanitizer found {} violation(s):\n{}".format(
+                    len(self.violations), self.report()
+                )
+            )
+
+
+def audit_result(result, cluster=None) -> List[Violation]:
+    """Post-hoc audit of a finished :class:`ExecutionResult`.
+
+    Checks only what the result itself (plus, optionally, the cluster's
+    device accounting) can prove; usable on results loaded far from any
+    live executor.  Returns the violations instead of raising.
+    """
+    violations: List[Violation] = []
+
+    def flag(check: str, message: str, time: float = 0.0) -> None:
+        violations.append(Violation(check, time, message))
+
+    done = {n: r for n, r in result.records.items() if r.state == "done"}
+
+    for name, rec in sorted(done.items()):
+        t = rec.finish if rec.finish is not None else 0.0
+        if rec.start is None or rec.finish is None:
+            flag("record-sanity", f"DONE task {name!r} lacks start/finish", t)
+            continue
+        if rec.start > rec.finish + TOL:
+            flag(
+                "record-sanity",
+                f"DONE task {name!r} starts at {rec.start:.6g} after its "
+                f"finish {rec.finish:.6g}",
+                t,
+            )
+        if rec.winner_duration is None or rec.winner_duration < -TOL:
+            flag(
+                "record-sanity",
+                f"DONE task {name!r} has no winner_duration",
+                t,
+            )
+        elif rec.finish - rec.start < rec.winner_duration - TOL:
+            flag(
+                "record-sanity",
+                f"DONE task {name!r} spans {rec.finish - rec.start:.6g}s, "
+                f"less than its winning clone's "
+                f"{rec.winner_duration:.6g}s execution",
+                t,
+            )
+        if abs(rec.progress_fraction - 1.0) > TOL:
+            flag(
+                "record-sanity",
+                f"DONE task {name!r} has progress {rec.progress_fraction}",
+                t,
+            )
+        if rec.attempts < 1 or rec.clones_launched < rec.attempts:
+            flag(
+                "record-sanity",
+                f"DONE task {name!r} has attempts={rec.attempts}, "
+                f"clones_launched={rec.clones_launched}",
+                t,
+            )
+        if rec.finish > result.makespan + TOL:
+            flag(
+                "makespan",
+                f"task {name!r} finishes at {rec.finish:.6g} beyond the "
+                f"makespan {result.makespan:.6g}",
+                t,
+            )
+
+    expected_makespan = max(
+        (r.finish for r in done.values() if r.finish is not None), default=0.0
+    )
+    if not math.isclose(
+        result.makespan, expected_makespan, rel_tol=TOL, abs_tol=TOL
+    ):
+        flag(
+            "makespan",
+            f"makespan {result.makespan:.6g} != max DONE finish "
+            f"{expected_makespan:.6g}",
+            result.makespan,
+        )
+
+    dead = sorted(
+        name for name, r in result.records.items() if r.state == "dead"
+    )
+    if list(result.dead_tasks) != dead:
+        flag(
+            "dead-accounting",
+            f"dead_tasks={list(result.dead_tasks)} but records show {dead}",
+        )
+    should_succeed = not dead and len(done) == len(result.records)
+    if result.success != should_succeed:
+        flag(
+            "dead-accounting",
+            f"success={result.success} inconsistent with "
+            f"{len(done)}/{len(result.records)} done and dead={dead}",
+        )
+
+    if cluster is not None:
+        for device in cluster.devices:
+            peak = device.max_concurrent_intervals()
+            if peak > device.spec.slots:
+                flag(
+                    "busy-overlap",
+                    f"device {device.uid} has {peak} overlapping busy "
+                    f"intervals but only {device.spec.slots} slot(s)",
+                )
+
+    trace = result.trace
+    if trace is not None and trace.enabled:
+        finishes: Dict[str, int] = {}
+        for r in trace.of_kind("task.finish"):
+            finishes[r.get("task")] = finishes.get(r.get("task"), 0) + 1
+        regens: Dict[str, int] = {}
+        for r in trace.of_kind("task.regenerate"):
+            regens[r.get("task")] = regens.get(r.get("task"), 0) + 1
+        # A task may finish once, plus once more per regeneration (its
+        # output was lost and it legitimately re-ran).
+        dupes = sorted(
+            t for t, n in finishes.items() if n > 1 + regens.get(t, 0)
+        )
+        if dupes:
+            flag(
+                "duplicate-finish",
+                f"tasks finished more often than regenerated: {dupes}",
+            )
+        n_faults = len(trace.of_kind("fault.task"))
+        if n_faults != result.task_faults:
+            flag(
+                "fault-count",
+                f"trace shows {n_faults} task faults, result counts "
+                f"{result.task_faults}",
+            )
+        n_preempts = len(trace.of_kind("task.preempt"))
+        if result.preemptions < n_preempts:
+            flag(
+                "preempt-count",
+                f"trace shows {n_preempts} preemptions, result counts only "
+                f"{result.preemptions}",
+            )
+
+    return violations

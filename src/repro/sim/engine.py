@@ -92,7 +92,11 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queue entries not yet fired (includes tombstones)."""
+        """Number of live events still waiting to fire.
+
+        Cancelled entries (tombstones) may linger in the underlying queue
+        until they reach the head, but they are excluded from this count.
+        """
         return sum(1 for entry in self._queue if not entry[3].cancelled)
 
     def schedule(

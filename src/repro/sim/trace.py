@@ -38,16 +38,36 @@ class TraceRecorder:
     Recording can be disabled wholesale (``enabled=False``) to remove
     tracing overhead from large benchmark sweeps; queries then see an empty
     trace.
+
+    Live consumers (e.g. the :mod:`repro.sanitizer` invariant checker) can
+    :meth:`subscribe` a callback that observes every record as it is
+    emitted.  Subscribers fire even when storage is disabled, so auditing
+    does not force traces to be retained in memory.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._records: List[TraceRecord] = []
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked synchronously on every record."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     def record(self, time: float, kind: str, **data: Any) -> None:
-        """Append one record (no-op when disabled)."""
+        """Append one record (no-op when disabled and nobody listens)."""
+        if not self.enabled and not self._subscribers:
+            return
+        rec = TraceRecord(time, kind, data)
         if self.enabled:
-            self._records.append(TraceRecord(time, kind, data))
+            self._records.append(rec)
+        for callback in self._subscribers:
+            callback(rec)
 
     def __len__(self) -> int:
         return len(self._records)

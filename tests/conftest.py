@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Every executor run in the suite is audited by the simulation sanitizer
+# unless a test overrides this explicitly (sanitize=False / monkeypatch).
+# Set before repro imports so pool workers inherit it too.
+os.environ.setdefault("REPRO_SANITIZE", "1")
 
 import repro.core  # noqa: F401  (registers hdws in the scheduler registry)
 from repro.platform import presets

@@ -144,3 +144,100 @@ class TestPartialRuns:
         assert result.success
         assert executor.ready_tasks() == []
         assert not executor.busy_devices
+
+
+class TestDeviceFailureDuringStaging:
+    def test_staging_clone_retries_on_surviving_node(self):
+        from repro.faults.models import DeviceFault
+
+        cat = catalogue()
+        cluster = Cluster("two", [
+            NodeSpec.of("n0", [cat["cpu-std"]]),
+            NodeSpec.of("n1", [cat["cpu-std"]]),
+        ])
+        wf = Workflow("stagefail")
+        wf.add_file(DataFile("db", 2000.0, initial=True))
+        wf.add_file(DataFile("out", 0.1))
+        wf.add_task(cpu_task("t", 10.0, inputs=("db",), outputs=("out",)))
+        executor = run_static(wf, cluster, seed=1)
+        target = executor.policy.schedule.assignments["t"].device
+        # Fail the planned device while "db" is still in flight towards it.
+        executor.sim.schedule_at(
+            1e-4, executor._on_device_failure,
+            DeviceFault(time=1e-4, device_uid=target),
+        )
+        result = executor.run()
+        assert result.success
+        assert result.device_faults == 1
+        assert result.records["t"].faults == 1
+        assert result.records["t"].device != target
+        # The clone never reached execution: zero progress at the fault.
+        fault = result.trace.of_kind("fault.task")[0]
+        assert fault.get("at_offset") == 0.0
+
+
+class TestPreemptedCloneEnergy:
+    def test_preempt_energy_matches_busy_power(self, small_montage, hybrid_cluster):
+        from repro.faults.recovery import RecoveryPolicy
+
+        result = run_workflow(
+            small_montage, hybrid_cluster, scheduler="heft", seed=3,
+            noise_cv=0.3, sanitize=True,
+            recovery=RecoveryPolicy.replicated(k=2, retries=3),
+        )
+        assert result.success
+        preempts = result.execution.trace.of_kind("task.preempt")
+        assert preempts  # replication raced at least once
+        for rec in preempts:
+            device = hybrid_cluster.device(rec.get("device"))
+            expected = device.spec.power.busy_power(None) * rec.get("duration")
+            assert rec.get("energy_j") == pytest.approx(expected, rel=1e-9)
+
+
+class TestRegenerationAfterDataLoss:
+    def test_lost_outputs_regenerate_and_run_succeeds(self):
+        from repro.faults.models import FaultModel
+        from repro.faults.recovery import RecoveryPolicy
+        from repro.workflows.generators import montage
+
+        wf = montage(n_images=5, seed=7)
+        cluster = presets.hybrid_cluster(
+            nodes=2, cores_per_node=2, gpus_per_node=1
+        )
+        result = run_workflow(
+            wf, cluster, scheduler="heft", seed=1, noise_cv=0.2,
+            sanitize=True,
+            fault_model=FaultModel(device_mtbf=2.0, device_data_loss=True),
+            recovery=RecoveryPolicy.retry(10),
+        )
+        assert result.success
+        ex = result.execution
+        assert ex.device_faults >= 1
+        assert ex.regenerations >= 1
+        assert len(ex.trace.of_kind("task.regenerate")) == ex.regenerations
+
+
+class TestCheckpointAcrossCrashes:
+    def test_progress_survives_crashes(self):
+        from repro.faults.models import FaultModel
+        from repro.faults.recovery import RecoveryPolicy
+        from repro.workflows.generators import montage
+
+        wf = montage(n_images=5, seed=7)
+        cluster = presets.hybrid_cluster(
+            nodes=2, cores_per_node=2, gpus_per_node=1
+        )
+        result = run_workflow(
+            wf, cluster, scheduler="heft", seed=0, noise_cv=0.2,
+            sanitize=True,
+            fault_model=FaultModel(task_fault_rate=0.5),
+            recovery=RecoveryPolicy.checkpoint(interval_s=0.05, retries=30),
+        )
+        assert result.success
+        ex = result.execution
+        assert ex.task_faults >= 1
+        crashed = [r for r in ex.records.values() if r.faults > 0]
+        assert crashed
+        for rec in crashed:
+            assert rec.attempts >= 2
+            assert rec.progress_fraction == pytest.approx(1.0)

@@ -1,0 +1,331 @@
+"""Sanitizer tests.
+
+Two halves:
+
+* *mutation self-tests* — seed one deliberate violation per invariant
+  (crafted trace records, mutated record states, tampered results) and
+  assert the named check fires.  A checker that cannot detect its own
+  target violation is worthless.
+* *clean-run tests* — stress configurations (replication, faults, device
+  loss, checkpointing, every mode) run under a strict sanitizer and must
+  come back violation-free.
+"""
+
+import pytest
+
+from repro import run_workflow
+from repro.core.executor import WorkflowExecutor, _Clone
+from repro.core.policies import StaticPolicy
+from repro.data.catalog import ReplicaCatalog
+from repro.faults.models import FaultModel
+from repro.faults.recovery import RecoveryPolicy
+from repro.platform import presets
+from repro.platform.cluster import Cluster
+from repro.platform.devices import catalogue
+from repro.platform.nodes import NodeSpec
+from repro.sanitizer import Sanitizer, SanitizerError, audit_result
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.heft import HeftScheduler
+from repro.workflows.generators import montage
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, cpu_task
+
+
+def tiny_workflow():
+    """One producer-free consumer of a storage-resident input."""
+    wf = Workflow("tiny")
+    wf.add_file(DataFile("fin", 10.0, initial=True))
+    wf.add_file(DataFile("fout", 0.1))
+    wf.add_task(cpu_task("c", 10.0, inputs=("fin",), outputs=("fout",)))
+    return wf
+
+
+def make_executor(wf, cluster, strict=False, **kwargs):
+    cluster.reset()
+    plan = HeftScheduler().schedule(SchedulingContext(wf, cluster))
+    executor = WorkflowExecutor(
+        wf, cluster, StaticPolicy(plan), sanitize=True, **kwargs
+    )
+    executor.sanitizer.strict = strict
+    return executor
+
+
+def checks(executor):
+    return {v.check for v in executor.sanitizer.violations}
+
+
+class TestMutationSelfTests:
+    """Each invariant check must fire on its seeded violation."""
+
+    def test_illegal_transition_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        executor.run()
+        executor.records["c"].state = "running"  # done -> running: illegal
+        assert "illegal-transition" in checks(executor)
+
+    def test_catalog_time_travel_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        node = hybrid_cluster.nodes[0].name
+        executor.trace.record(
+            0.0, "transfer.start", file="zzz", src=ReplicaCatalog.STORAGE,
+            dst=node, size_mb=1.0, arrives=5.0,
+        )
+        executor.catalog.register("zzz", node)  # now=0 < arrives=5
+        assert "catalog-time-travel" in checks(executor)
+
+    def test_pinned_eviction_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        node = hybrid_cluster.nodes[0].name
+        executor.stores[node].put("zzz", 1.0)
+        executor.stores[node].pin("zzz")
+        executor.trace.record(0.0, "store.evict", node=node, file="zzz")
+        assert "pinned-evicted" in checks(executor)
+
+    def test_clone_energy_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        device = hybrid_cluster.devices[0]
+        executor._clones["c"] = {
+            device.uid: _Clone(device=device, node=device.node.name,
+                               dvfs_name=None)
+        }
+        executor.trace.record(
+            0.0, "task.finish", task="c", device=device.uid,
+            duration=2.0, energy_j=1e9,
+        )
+        assert "clone-energy" in checks(executor)
+
+    def test_input_before_arrival_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        device = hybrid_cluster.devices[0]
+        node = device.node.name
+        executor.trace.record(
+            0.0, "transfer.start", file="fin", src=ReplicaCatalog.STORAGE,
+            dst=node, size_mb=1.0, arrives=9.0,
+        )
+        executor._clones["c"] = {
+            device.uid: _Clone(device=device, node=node, dvfs_name=None)
+        }
+        executor.trace.record(
+            0.0, "task.start", task="c", device=device.uid,
+            attempt=1, duration=1.0,
+        )
+        assert "input-before-arrival" in checks(executor)
+
+    def test_input_missing_fires(self, hybrid_cluster):
+        # Fresh executor: the catalog has no replica of "fin" anywhere.
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        device = hybrid_cluster.devices[0]
+        executor._clones["c"] = {
+            device.uid: _Clone(device=device, node=device.node.name,
+                               dvfs_name=None)
+        }
+        executor.trace.record(
+            0.0, "task.start", task="c", device=device.uid,
+            attempt=1, duration=1.0,
+        )
+        assert "input-missing" in checks(executor)
+
+    def test_busy_overlap_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        result = executor.run()
+        device = hybrid_cluster.devices[0]
+        device.busy_intervals.append((0.0, 1.0))
+        device.busy_intervals.append((0.5, 1.5))
+        violations = audit_result(result, cluster=hybrid_cluster)
+        assert "busy-overlap" in {v.check for v in violations}
+
+    def test_record_sanity_fires_on_partial_progress(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        result = executor.run()
+        result.records["c"].progress_fraction = 0.5
+        violations = audit_result(result)
+        assert "record-sanity" in {v.check for v in violations}
+
+    def test_makespan_mismatch_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        result = executor.run()
+        result.makespan = result.makespan + 1.0
+        violations = audit_result(result)
+        assert "makespan" in {v.check for v in violations}
+
+    def test_dead_accounting_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        result = executor.run()
+        result.dead_tasks.append("ghost")
+        violations = audit_result(result)
+        assert "dead-accounting" in {v.check for v in violations}
+
+    def test_duplicate_finish_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        result = executor.run()
+        finish = result.trace.of_kind("task.finish")[0]
+        result.trace.record(
+            result.makespan, "task.finish", **dict(finish.data)
+        )
+        violations = audit_result(result)
+        assert "duplicate-finish" in {v.check for v in violations}
+
+    def test_stalled_run_fires(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        result = executor.run()
+        # Pretend the task never ran: queue is drained, nothing is dead,
+        # yet work is still pending — the stall signature.
+        result.records["c"].state = "pending"
+        executor.sanitizer.violations.clear()
+        executor.sanitizer.finalize(result)
+        assert "stalled-run" in checks(executor)
+
+    def test_strict_mode_raises(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster, strict=True)
+        node = hybrid_cluster.nodes[0].name
+        executor.stores[node].put("zzz", 1.0)
+        executor.stores[node].pin("zzz")
+        executor.trace.record(0.0, "store.evict", node=node, file="zzz")
+        executor.stores[node].unpin("zzz")
+        executor.stores[node].remove("zzz")
+        with pytest.raises(SanitizerError, match="pinned-evicted"):
+            executor.run()
+
+
+class TestCleanRuns:
+    """Stress configurations must pass a strict sanitizer."""
+
+    @pytest.mark.parametrize("mode", ["static", "dynamic", "adaptive"])
+    def test_faulty_replicated_run_is_clean(self, mode, hybrid_cluster):
+        wf = montage(n_images=5, seed=7)
+        result = run_workflow(
+            wf, hybrid_cluster, scheduler="heft", mode=mode, seed=3,
+            noise_cv=0.3, sanitize=True,
+            fault_model=FaultModel(task_fault_rate=0.1, device_mtbf=30.0),
+            recovery=RecoveryPolicy.replicated(k=2, retries=4),
+        )
+        assert result.success
+
+    def test_checkpointed_run_is_clean(self, hybrid_cluster):
+        wf = montage(n_images=5, seed=7)
+        result = run_workflow(
+            wf, hybrid_cluster, scheduler="heft", seed=0, noise_cv=0.2,
+            sanitize=True,
+            fault_model=FaultModel(task_fault_rate=0.5),
+            recovery=RecoveryPolicy.checkpoint(interval_s=0.05, retries=30),
+        )
+        assert result.success
+
+    def test_sanitizer_works_with_trace_storage_disabled(self, hybrid_cluster):
+        from repro.sim.trace import TraceRecorder
+
+        executor = make_executor(
+            tiny_workflow(), hybrid_cluster, strict=True,
+            trace=TraceRecorder(enabled=False),
+        )
+        result = executor.run()
+        assert result.success
+        assert executor.sanitizer.violations == []
+        assert result.trace.of_kind("task.finish") == []  # storage off
+
+    def test_detach_stops_auditing(self, hybrid_cluster):
+        executor = make_executor(tiny_workflow(), hybrid_cluster)
+        executor.sanitizer.detach()
+        executor.records["c"].state = "running"  # would be illegal
+        executor.records["c"].state = "pending"
+        assert executor.sanitizer.violations == []
+
+
+class TestCatalogTimeTravelRegression:
+    """The executor bug the sanitizer was built around: replicas used to be
+    registered (and stored) at transfer *reservation* time, letting other
+    clones see — and even start on — data that had not arrived yet."""
+
+    def two_cpu_one_node(self):
+        cat = catalogue()
+        return Cluster("uno", [
+            NodeSpec.of("n0", [cat["cpu-std"], cat["cpu-std"]]),
+        ])
+
+    def shared_input_workflow(self):
+        wf = Workflow("shared")
+        wf.add_file(DataFile("db", 800.0, initial=True))
+        wf.add_file(DataFile("oa", 0.1))
+        wf.add_file(DataFile("ob", 0.1))
+        wf.add_task(cpu_task("a", 10.0, inputs=("db",), outputs=("oa",)))
+        wf.add_task(cpu_task("b", 10.0, inputs=("db",), outputs=("ob",)))
+        return wf
+
+    def test_consumers_wait_for_arrival(self):
+        wf = self.shared_input_workflow()
+        result = run_workflow(
+            wf, self.two_cpu_one_node(), scheduler="heft", seed=1,
+            sanitize=True,
+        )
+        assert result.success
+        trace = result.execution.trace
+        arrivals = {
+            (r.get("dst"), r.get("file")): r.get("arrives")
+            for r in trace.of_kind("transfer.start")
+        }
+        assert arrivals  # the shared input was staged at least once
+        for rec in trace.of_kind("task.start"):
+            for fname in wf.tasks[rec.get("task")].inputs:
+                arrives = arrivals.get(("n0", fname))
+                if arrives is not None:
+                    assert rec.time >= arrives - 1e-9
+
+    def test_concurrent_clones_join_inflight_transfer(self):
+        wf = self.shared_input_workflow()
+        result = run_workflow(
+            wf, self.two_cpu_one_node(), scheduler="heft", seed=1,
+            sanitize=True,
+        )
+        assert result.success
+        db_pulls = [
+            r for r in result.execution.trace.of_kind("transfer.start")
+            if r.get("file") == "db"
+        ]
+        # Both consumers need "db" on n0 at t=0; the second clone joins
+        # the in-flight staging instead of paying for a second transfer.
+        assert len(db_pulls) == 1
+        assert result.execution.staging_mb == pytest.approx(800.0)
+
+
+class TestFailureSurfacing:
+    """dead_tasks / success consistency under unrecoverable failures."""
+
+    def test_exhausted_retries_reported_dead(self, hybrid_cluster):
+        wf = tiny_workflow()
+        result = run_workflow(
+            wf, hybrid_cluster, scheduler="heft", seed=1, sanitize=True,
+            fault_model=FaultModel(task_fault_rate=1e6),
+            recovery=RecoveryPolicy(max_retries=1),
+        )
+        assert not result.success
+        assert result.execution.dead_tasks == ["c"]
+
+    def test_stranded_task_reported_dead(self):
+        from repro.faults.models import DeviceFault
+        from repro.platform.devices import DeviceClass
+        from repro.workflows.task import Task
+
+        cat = catalogue()
+        cluster = Cluster("mixed", [
+            NodeSpec.of("n0", [cat["cpu-std"], cat["gpu-std"]]),
+        ])
+        wf = Workflow("stranded")
+        wf.add_file(DataFile("o", 0.1))
+        wf.add_task(Task("t", 50.0,
+                         affinity={DeviceClass.CPU: 1.0, DeviceClass.GPU: 0.0},
+                         outputs=("o",)))
+        wf.add_task(cpu_task("c", 1.0, inputs=("o",)))
+        cluster.reset()
+        plan = HeftScheduler().schedule(SchedulingContext(wf, cluster))
+        executor = WorkflowExecutor(
+            wf, cluster, StaticPolicy(plan), seed=1, sanitize=True,
+        )
+        # Kill the only CPU while "t" is underway; the GPU cannot run it.
+        executor.sim.schedule_at(
+            1e-4, executor._on_device_failure,
+            DeviceFault(time=1e-4, device_uid="n0:cpu-std#0"),
+        )
+        result = executor.run()
+        assert not result.success
+        assert result.dead_tasks == ["t"]
+        assert result.records["c"].state == "pending"
