@@ -22,8 +22,10 @@ from repro.runner.campaign import (  # noqa: E402
     GOLDEN_SCHEDULERS,
     GOLDEN_SEED,
     GOLDEN_SIZE,
+    golden_jobs,
     golden_makespans,
 )
+from repro.staticcheck import precheck_job  # noqa: E402
 
 FIXTURE = os.path.join(
     os.path.dirname(__file__), "..", "tests", "golden", "makespans.json"
@@ -31,6 +33,25 @@ FIXTURE = os.path.join(
 
 
 def main() -> int:
+    # Never pin numbers from a statically unsound cell: model-check and
+    # schedule-audit every cell before regenerating anything.
+    jobs = golden_jobs()
+    unsound = 0
+    for job in jobs:
+        report = precheck_job(job)
+        if not report.ok:
+            unsound += 1
+            print(f"UNSOUND {job.label}:", file=sys.stderr)
+            print(report.render(), file=sys.stderr)
+    if unsound:
+        print(
+            f"refusing to regenerate: {unsound}/{len(jobs)} golden cells "
+            f"failed the static check",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"static check: {len(jobs)}/{len(jobs)} golden cells sound")
+
     doc = {
         "_comment": (
             "Pinned makespans of the golden suite x scheduler grid; "

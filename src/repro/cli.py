@@ -11,11 +11,16 @@ Subcommands:
 * ``campaign`` — run several experiments through one shared process pool
   and result cache, printing a timing/cache summary.
 * ``generate`` — emit a workflow as JSON for inspection or reuse.
+* ``check`` — statically check a (workflow, cluster, scheduler) cell
+  without simulating: model checker + schedule audit, nonzero exit on
+  blocking findings.
+* ``lint`` — determinism lint over simulator source trees.
 * ``list`` — show available workflows, schedulers, presets, experiments.
 
 ``exp`` and ``campaign`` accept ``--jobs N`` (process-pool width) and
 ``--cache-dir PATH`` (on-disk memoization of simulation cells; delete the
-directory to invalidate).
+directory to invalidate).  ``run``, ``exp`` and ``campaign`` accept
+``--precheck`` to gate every cell on the static model checker first.
 """
 
 from __future__ import annotations
@@ -56,6 +61,7 @@ def cmd_run(args) -> int:
         wf, cluster, scheduler=args.scheduler, mode=args.mode,
         seed=args.seed, noise_cv=args.noise,
         sanitize=True if args.sanitize else None,
+        precheck=True if args.precheck else None,
     )
     print(f"workflow : {wf.name} ({wf.n_tasks} tasks, {wf.n_edges} edges)")
     print(f"cluster  : {cluster.describe()}")
@@ -115,15 +121,20 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         help="ignore --cache-dir and recompute everything")
     parser.add_argument("--sanitize", action="store_true",
                         help="audit every run with the simulation sanitizer")
+    parser.add_argument("--precheck", action="store_true",
+                        help="statically check every cell before simulating")
 
 
 def _sanitize_overrides(args):
-    """A context manager applying --sanitize to every cell of the block."""
+    """A context manager applying --sanitize/--precheck to every cell."""
     from repro.experiments.common import use_run_overrides
 
+    overrides = {}
     if getattr(args, "sanitize", False):
-        return use_run_overrides(sanitize=True)
-    return use_run_overrides()  # no-op
+        overrides["sanitize"] = True
+    if getattr(args, "precheck", False):
+        overrides["precheck"] = True
+    return use_run_overrides(**overrides)  # no-op when empty
 
 
 def cmd_exp(args) -> int:
@@ -170,6 +181,49 @@ def cmd_generate(args) -> int:
     else:
         print(text)
     return 0
+
+
+def cmd_check(args) -> int:
+    """Statically check one cell; nonzero exit on blocking findings."""
+    from repro.schedulers.base import SchedulingContext, SchedulingError
+    from repro.staticcheck import audit_schedule, check_run, error
+
+    if args.input:
+        from repro.workflows.serialize import workflow_from_json
+
+        with open(args.input, encoding="utf-8") as fh:
+            wf = workflow_from_json(fh.read())
+    else:
+        wf = by_name(args.workflow, size=args.size, seed=args.seed)
+    cluster = presets.by_name(args.cluster)
+    report = check_run(wf, cluster)
+    if report.ok and args.scheduler != "none":
+        try:
+            plan = SCHEDULERS[args.scheduler]().schedule(
+                SchedulingContext(wf, cluster)
+            )
+        except SchedulingError as exc:
+            report.extend([
+                error(
+                    "plan-failure", "plan", args.scheduler,
+                    f"scheduler {args.scheduler!r} found no feasible "
+                    f"plan: {exc}",
+                ),
+            ])
+        else:
+            report.extend(audit_schedule(plan, wf, cluster))
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_lint(args) -> int:
+    """Determinism lint over source trees; nonzero exit on findings."""
+    from repro.staticcheck.lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.allowlist:
+        argv += ["--allowlist", args.allowlist]
+    return lint_main(argv)
 
 
 def cmd_ensemble(args) -> int:
@@ -232,6 +286,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-category/class profiling tables")
     p_run.add_argument("--sanitize", action="store_true",
                        help="audit the run with the simulation sanitizer")
+    p_run.add_argument("--precheck", action="store_true",
+                       help="statically check the cell before simulating")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare schedulers")
@@ -267,6 +323,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--output", default=None)
     p_gen.set_defaults(func=cmd_generate)
+
+    p_chk = sub.add_parser(
+        "check", help="statically check a cell without simulating"
+    )
+    _add_common(p_chk)
+    p_chk.add_argument(
+        "--scheduler", default="hdws",
+        choices=sorted(SCHEDULERS) + ["none"],
+        help="scheduler whose static plan to audit ('none' skips the audit)",
+    )
+    p_chk.add_argument(
+        "--input", default=None,
+        help="check a workflow JSON file instead of generating one",
+    )
+    p_chk.set_defaults(func=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism lint over simulator source"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=[],
+        help="files/directories to lint (default: the repro package)",
+    )
+    p_lint.add_argument("--allowlist", default=None,
+                        help="override the packaged allowlist file")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_ens = sub.add_parser("ensemble", help="run an ensemble of workflows")
     p_ens.add_argument(

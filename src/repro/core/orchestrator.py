@@ -34,6 +34,15 @@ from repro.workflows.validate import validate_workflow
 MODES = ("static", "dynamic", "adaptive")
 
 
+def _env_precheck() -> bool:
+    """Whether REPRO_PRECHECK asks for always-on static prechecking."""
+    import os
+
+    return os.environ.get("REPRO_PRECHECK", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
 @dataclass
 class RunConfig:
     """Everything that parameterizes one run.
@@ -59,6 +68,12 @@ class RunConfig:
         sanitize: Attach the simulation sanitizer
             (:class:`repro.sanitizer.Sanitizer`) to the run.  ``None``
             defers to the ``REPRO_SANITIZE`` environment variable.
+        precheck: Run the plan-time model checker
+            (:func:`repro.staticcheck.check_run`) before simulating and
+            audit the static plan (:func:`repro.staticcheck.audit_schedule`)
+            before executing it; blocking findings raise
+            :class:`~repro.staticcheck.StaticCheckError`.  ``None`` defers
+            to the ``REPRO_PRECHECK`` environment variable.
     """
 
     scheduler: Union[str, Scheduler] = "hdws"
@@ -74,6 +89,7 @@ class RunConfig:
     validate: bool = True
     max_time: Optional[float] = None
     sanitize: Optional[bool] = None
+    precheck: Optional[bool] = None
     #: Earliest permissible start per task (online arrivals); empty = all 0.
     release_times: Dict[str, float] = field(default_factory=dict)
 
@@ -149,7 +165,22 @@ class Orchestrator:
         cluster.reset()
         cluster.execution_model.noise_cv = cfg.noise_cv
 
+        precheck = cfg.precheck if cfg.precheck is not None else _env_precheck()
+        if precheck:
+            from repro.staticcheck import check_run
+
+            check_run(
+                workflow, cluster,
+                fault_model=cfg.fault_model, recovery=cfg.recovery,
+            ).raise_if_errors()
+
         policy, plan = self._build_policy(workflow, cluster)
+        if precheck and plan is not None:
+            from repro.staticcheck import CheckReport, audit_schedule
+
+            CheckReport(
+                audit_schedule(plan, workflow, cluster)
+            ).raise_if_errors()
         horizon = self._failure_horizon(plan, workflow, cluster)
         executor = WorkflowExecutor(
             workflow,

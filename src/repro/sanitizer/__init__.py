@@ -80,6 +80,20 @@ class Violation:
     def __str__(self) -> str:
         return f"[{self.check}] t={self.time:.6g}: {self.message}"
 
+    def as_finding(self):
+        """This violation in the static-analysis finding vocabulary.
+
+        Runtime violations are always blocking, so they map to ERROR
+        severity in the ``runtime`` layer, with the virtual time as the
+        location.  Lets mixed plan-time/run-time reports render uniformly.
+        """
+        from repro.staticcheck.findings import error
+
+        return error(
+            self.check, "runtime", f"t={self.time:.6g}", self.message,
+            "see repro.sanitizer for the violated invariant",
+        )
+
 
 class Sanitizer:
     """Live invariant checker for one :class:`WorkflowExecutor` run."""

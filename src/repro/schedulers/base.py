@@ -50,7 +50,10 @@ class SchedulingContext:
         self._error: Dict[str, float] = {}
         if estimate_error_cv > 0:
             if rng is None:
-                rng = np.random.default_rng(0)
+                raise ValueError(
+                    "estimate_error_cv > 0 requires a caller-supplied rng; "
+                    "derive it from the run seed (see Orchestrator._build_policy)"
+                )
             sigma2 = np.log(1.0 + estimate_error_cv ** 2)
             for name in workflow.tasks:
                 self._error[name] = float(

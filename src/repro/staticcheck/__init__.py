@@ -1,0 +1,56 @@
+"""Plan-time static analysis for the simulator.
+
+Two heads, one findings pipeline:
+
+* the **model checker** (:func:`check_run`, :func:`precheck_job`,
+  :func:`audit_schedule`) proves a (workflow, cluster, config) cell
+  infeasible *before* the simulator starts — stranded tasks, storage
+  overflows, insane fault/power parameters, unsound schedules;
+* the **determinism lint** (:mod:`repro.staticcheck.lint`) walks the
+  simulator's own source for wall-clock reads, global-stream randomness
+  and order-dependent iteration — the bugs the runtime sanitizer can only
+  catch after they have already corrupted a campaign.
+
+Both emit :class:`Finding` objects; :class:`CheckReport` aggregates them
+and decides pass/fail (only ``ERROR`` severity blocks).  The runtime
+sanitizer's violations convert to the same type, so plan-time and
+run-time reports render uniformly.
+"""
+
+from repro.staticcheck.findings import (
+    CheckReport,
+    Finding,
+    Severity,
+    StaticCheckError,
+    error,
+    warning,
+)
+from repro.staticcheck.model_checks import (
+    check_data,
+    check_fault_model,
+    check_placement,
+    check_platform,
+    check_recovery,
+    check_run,
+    precheck_job,
+)
+from repro.staticcheck.schedule_audit import audit_schedule
+from repro.staticcheck.workflow_checks import check_workflow
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "Severity",
+    "StaticCheckError",
+    "audit_schedule",
+    "check_data",
+    "check_fault_model",
+    "check_placement",
+    "check_platform",
+    "check_recovery",
+    "check_run",
+    "check_workflow",
+    "error",
+    "precheck_job",
+    "warning",
+]

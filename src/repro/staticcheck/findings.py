@@ -1,0 +1,146 @@
+"""The shared finding vocabulary of the static-analysis subsystem.
+
+Every static check — workflow structure, cross-layer placement, schedule
+audit, determinism lint — reports problems as :class:`Finding` objects:
+a check id, a severity, the layer the problem lives in, a location string
+("workflow:mProject_3", "src/repro/foo.py:42"), a human message and a fix
+hint.  The runtime :class:`~repro.sanitizer.Sanitizer` converts its
+violations to the same type (``Violation.as_finding()``), so plan-time and
+run-time reports render uniformly.
+
+:class:`CheckReport` aggregates findings from several check groups and
+decides pass/fail: only ``ERROR``-severity findings fail a precheck;
+warnings are advisory and printed but never block a run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe configurations that cannot run correctly
+    (the simulator would strand tasks, overflow a store, or silently
+    produce garbage); ``WARNING`` findings describe configurations that
+    run but are statistically doomed or suspicious; ``INFO`` is purely
+    informational.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One statically-detected problem.
+
+    Attributes:
+        check: Stable check identifier (``"stranded-task"``), the handle
+            used by allowlists and tests.
+        severity: How bad it is (see :class:`Severity`).
+        layer: Which layer the problem lives in (``workflow``, ``data``,
+            ``platform``, ``plan``, ``schedule``, ``lint``, ``runtime``).
+        location: Where — a task/file/device name, ``path:line`` for lint
+            findings, or a virtual time for runtime violations.
+        message: Human-readable statement of the problem.
+        hint: Optional one-line suggestion for the fix.
+    """
+
+    check: str
+    severity: Severity
+    layer: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.severity}] {self.check} @ {self.layer}:{self.location}: {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+def error(check: str, layer: str, location: str, message: str, hint: str = "") -> Finding:
+    """Shorthand for an ERROR finding."""
+    return Finding(check, Severity.ERROR, layer, location, message, hint)
+
+
+def warning(check: str, layer: str, location: str, message: str, hint: str = "") -> Finding:
+    """Shorthand for a WARNING finding."""
+    return Finding(check, Severity.WARNING, layer, location, message, hint)
+
+
+class CheckReport:
+    """An ordered collection of findings with pass/fail semantics."""
+
+    def __init__(self, findings: Iterable[Finding] = ()) -> None:
+        self.findings: List[Finding] = list(findings)
+
+    def extend(self, findings: Iterable[Finding]) -> "CheckReport":
+        """Append findings (chainable)."""
+        self.findings.extend(findings)
+        return self
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Findings that must block a run."""
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Advisory findings."""
+        return [f for f in self.findings if f.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding is an error."""
+        return not self.errors
+
+    def by_check(self, check: str) -> List[Finding]:
+        """Findings with the given check id (test helper)."""
+        return [f for f in self.findings if f.check == check]
+
+    def render(self) -> str:
+        """Multi-line human-readable report (summary line last)."""
+        lines = [str(f) for f in self.findings]
+        lines.append(
+            f"static check: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) in {len(self.findings)} finding(s)"
+            if self.findings
+            else "static check: clean"
+        )
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`StaticCheckError` when any finding is an error."""
+        if not self.ok:
+            raise StaticCheckError(self)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CheckReport errors={len(self.errors)} warnings={len(self.warnings)}>"
+
+
+class StaticCheckError(RuntimeError):
+    """Raised when a precheck found blocking (ERROR) findings."""
+
+    def __init__(self, report: CheckReport) -> None:
+        self.report = report
+        super().__init__(
+            "static check found {} blocking finding(s):\n{}".format(
+                len(report.errors), report.render()
+            )
+        )

@@ -1,0 +1,353 @@
+"""Determinism lint: an AST pass over the simulator's own source.
+
+The campaign runner's contract — ``--jobs N`` == ``--jobs 1`` == warm
+cache, bit for bit — only holds while no code path consults ambient
+nondeterminism.  This pass bans the constructs that have historically
+broken that contract in workflow systems:
+
+* ``wall-clock`` — ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()`` / ``utcnow()`` / ``today()``: virtual time must come
+  from the simulator, never the host clock.  (``time.perf_counter`` is
+  allowed: measuring *our own* overhead is not simulation state.)
+* ``global-random`` — module-level ``random.*`` and ``np.random.*`` draw
+  calls: all randomness must flow through a threaded
+  :class:`numpy.random.Generator` (see :mod:`repro.sim.rng`), or two runs
+  of the same seed diverge as soon as call order changes.
+* ``unseeded-rng`` — ``np.random.default_rng()`` with no seed (ambient
+  entropy) or with a constant literal seed (a fresh, caller-invisible
+  stream where the caller's seed should flow).
+* ``set-iteration`` — ``for x in {...}`` / ``for x in set(...)``: set
+  order depends on ``PYTHONHASHSEED`` for strings, so any decision loop
+  over a bare set is nondeterministic across processes.  Iterate
+  ``sorted(...)`` instead.
+* ``dict-mutation-in-loop`` — adding/removing keys of a dict while
+  iterating it (``RuntimeError`` at best, order-dependent behaviour at
+  worst).  Iterate ``list(d)`` when mutation is intended.
+
+Deliberate exceptions are declared in ``lint_allowlist.txt`` next to this
+module: one ``<path-substring>::<check-id>`` entry per line, with a
+comment saying why.  Run stand-alone with::
+
+    python -m repro.staticcheck.lint [paths...]
+
+which exits nonzero when any finding survives the allowlist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.staticcheck.findings import Finding, Severity
+
+#: Layer tag for every finding this module emits.
+LAYER = "lint"
+
+#: Dotted call paths that read the host clock.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: numpy.random attributes that construct generators (deterministic given
+#: their arguments) rather than drawing from the hidden global stream.
+RNG_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "SeedSequence",
+}
+
+#: stdlib ``random`` attributes that are classes, not global-stream draws.
+STDLIB_RANDOM_OK = {"Random"}
+
+#: Dict methods that add or remove keys.
+DICT_MUTATORS = {"pop", "popitem", "clear", "update", "setdefault"}
+
+#: Default allowlist shipped with the package.
+DEFAULT_ALLOWLIST = os.path.join(os.path.dirname(__file__), "lint_allowlist.txt")
+
+_HINTS = {
+    "wall-clock": "use the simulator's virtual time (executor.now / sim.now)",
+    "global-random": "thread a numpy Generator (see sim/rng.py) instead",
+    "unseeded-rng": "accept rng= or seed= from the caller and pass it down",
+    "set-iteration": "iterate sorted(...) for a deterministic order",
+    "dict-mutation-in-loop": "iterate list(d) when you must mutate d",
+}
+
+
+def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted import paths they are bound to."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import numpy.random`` binds the root name only.
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue  # relative imports never reach the banned modules
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted_path(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to its imported dotted path, if any."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name) or node.id not in aliases:
+        return None
+    parts.append(aliases[node.id])
+    return ".".join(reversed(parts))
+
+
+def _is_bare_set(node: ast.AST) -> bool:
+    """Whether an expression is a set literal/comprehension/constructor."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _dict_iter_source(node: ast.AST) -> Optional[ast.AST]:
+    """The mapping expression a for-loop iterates directly, if any.
+
+    Matches ``for k in d``, ``for k in d.keys()/values()/items()`` where
+    ``d`` is a name or attribute chain; wrapped iterations
+    (``list(d)``, ``sorted(d)``) are the safe idiom and return None.
+    """
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return node
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and isinstance(node.func.value, (ast.Name, ast.Attribute))
+    ):
+        return node.func.value
+    return None
+
+
+def _dict_mutations(loop: ast.For, source: ast.AST) -> List[ast.AST]:
+    """Statements in the loop body that resize the iterated mapping."""
+    key = ast.dump(source)
+    hits: List[ast.AST] = []
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and ast.dump(target.value) == key
+                    ):
+                        hits.append(node)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and ast.dump(target.value) == key
+                    ):
+                        hits.append(node)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in DICT_MUTATORS
+                and ast.dump(node.func.value) == key
+            ):
+                hits.append(node)
+    return hits
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    allow: Sequence[Tuple[str, str]] = (),
+) -> List[Finding]:
+    """Lint one module's source text; returns surviving findings."""
+    tree = ast.parse(source, filename=path)
+    aliases = _collect_aliases(tree)
+    findings: List[Finding] = []
+
+    def flag(check: str, node: ast.AST, message: str) -> None:
+        if any(part in path for part, c in allow if c == check):
+            return
+        findings.append(
+            Finding(
+                check,
+                Severity.ERROR,
+                LAYER,
+                f"{path}:{getattr(node, 'lineno', 0)}",
+                message,
+                _HINTS[check],
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            dotted = _dotted_path(node.func, aliases)
+            if dotted is None:
+                pass
+            elif dotted in WALL_CLOCK_CALLS:
+                flag(
+                    "wall-clock", node,
+                    f"{dotted}() reads the host clock inside simulation code",
+                )
+            elif dotted == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    flag(
+                        "unseeded-rng", node,
+                        "default_rng() with no seed draws ambient entropy; "
+                        "runs become unrepeatable",
+                    )
+                elif (
+                    len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, int)
+                ):
+                    flag(
+                        "unseeded-rng", node,
+                        f"default_rng({node.args[0].value}) hard-codes a "
+                        f"constant seed where the caller's seed should flow",
+                    )
+            elif dotted.startswith("numpy.random."):
+                tail = dotted.rsplit(".", 1)[1]
+                if tail not in RNG_CONSTRUCTORS:
+                    flag(
+                        "global-random", node,
+                        f"{dotted}() draws from numpy's hidden global stream",
+                    )
+            elif dotted.startswith("random."):
+                tail = dotted.rsplit(".", 1)[1]
+                if tail not in STDLIB_RANDOM_OK:
+                    flag(
+                        "global-random", node,
+                        f"{dotted}() draws from the stdlib global stream",
+                    )
+        if isinstance(node, ast.For) and _is_bare_set(node.iter):
+            flag(
+                "set-iteration", node,
+                "for-loop iterates a bare set; order depends on "
+                "PYTHONHASHSEED",
+            )
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_bare_set(gen.iter):
+                    flag(
+                        "set-iteration", node,
+                        "comprehension iterates a bare set; order depends "
+                        "on PYTHONHASHSEED",
+                    )
+        if isinstance(node, ast.For):
+            source_expr = _dict_iter_source(node.iter)
+            if source_expr is not None:
+                for hit in _dict_mutations(node, source_expr):
+                    flag(
+                        "dict-mutation-in-loop", hit,
+                        "container is resized while a for-loop iterates it",
+                    )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# file/tree driving                                                     #
+# --------------------------------------------------------------------- #
+
+def load_allowlist(path: str) -> List[Tuple[str, str]]:
+    """Parse ``<path-substring>::<check-id>`` entries (# comments)."""
+    entries: List[Tuple[str, str]] = []
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            part, sep, check = line.partition("::")
+            if not sep or not part or not check:
+                raise ValueError(
+                    f"bad allowlist entry {raw.strip()!r} in {path}; "
+                    f"expected '<path-substring>::<check-id>'"
+                )
+            entries.append((part.strip(), check.strip()))
+    return entries
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                out.extend(
+                    os.path.join(root, f) for f in files if f.endswith(".py")
+                )
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_paths(
+    paths: Iterable[str],
+    allowlist_file: Optional[str] = DEFAULT_ALLOWLIST,
+) -> List[Finding]:
+    """Lint every .py file under ``paths``; returns surviving findings."""
+    allow: List[Tuple[str, str]] = []
+    if allowlist_file and os.path.exists(allowlist_file):
+        allow = load_allowlist(allowlist_file)
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, encoding="utf-8") as fh:
+            source = fh.read()
+        rel = os.path.relpath(filename).replace(os.sep, "/")
+        findings.extend(lint_source(source, path=rel, allow=allow))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: lint the given paths (default: the installed repro package)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="determinism lint over simulator source",
+    )
+    default_target = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("paths", nargs="*", default=[default_target])
+    parser.add_argument(
+        "--allowlist", default=DEFAULT_ALLOWLIST,
+        help="allowlist file (<path-substring>::<check-id> per line)",
+    )
+    args = parser.parse_args(argv)
+    findings = lint_paths(args.paths, allowlist_file=args.allowlist)
+    for finding in findings:
+        print(finding)
+    print(
+        f"determinism lint: {len(findings)} finding(s)"
+        if findings
+        else "determinism lint: clean"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,428 @@
+"""Cross-layer model checker: is this (workflow, cluster, config) runnable?
+
+Every check here is *static* — it consults only the declared models, never
+the simulator — yet each one corresponds to a failure mode the runtime
+sanitizer (PR 2) could only catch after paying for a full run:
+
+* ``stranded-task`` — a task whose eligibility set intersected with the
+  alive devices (class affinity, memory fit) is empty; the executor would
+  declare it dead mid-run.
+* ``fault-fragile`` — permanent device faults are enabled and a task has
+  exactly one eligible device: a single unlucky draw strands it.
+* ``file-location-unknown`` / ``file-oversized`` / ``node-storage-overflow``
+  — files crossing the workflow/catalog boundary that can never become
+  resident where they are needed.
+* ``fault-insane`` / ``fault-rate-extreme`` / ``mtbf-below-runtime`` —
+  fault-model parameters that are nonsensical or statistically doom the
+  run.
+* ``power-insane`` / ``power-sleep-above-idle`` / ``dvfs-duplicate`` /
+  ``storage-insane`` / ``missing-link`` — platform model insanity.
+* ``replication-overcommit`` — the recovery policy wants more hot replicas
+  than some task has eligible devices.
+
+:func:`check_run` bundles the groups into one :class:`CheckReport`;
+:func:`precheck_job` does the same for a serialized
+:class:`~repro.runner.jobs.SimJob` cell (including the static schedule
+audit for ``static``-mode cells), which is how ``--precheck`` and the
+golden-fixture regeneration guard are wired.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.models import FaultModel
+from repro.faults.recovery import RecoveryPolicy
+from repro.platform.cluster import Cluster
+from repro.platform.devices import Device
+from repro.staticcheck.findings import CheckReport, Finding, error, warning
+from repro.staticcheck.workflow_checks import check_workflow
+from repro.workflows.graph import Workflow
+
+#: Expected transient faults per attempt beyond which a task is considered
+#: statistically doomed (success probability per attempt < e^-3 ~ 5%).
+EXPECTED_FAULTS_PER_ATTEMPT_LIMIT = 3.0
+
+#: Numeric slack for time comparisons.
+TOL = 1e-9
+
+
+def _eligible_devices(task, cluster: Cluster) -> Dict[str, List[Device]]:
+    """Alive devices split into class-eligible and fully-eligible sets."""
+    model = cluster.execution_model
+    class_ok = [d for d in cluster.alive_devices() if model.eligible(task, d.spec)]
+    fit = [d for d in class_ok if d.spec.memory_gb >= task.memory_gb]
+    return {"class": class_ok, "fit": fit}
+
+
+# --------------------------------------------------------------------- #
+# placement feasibility                                                 #
+# --------------------------------------------------------------------- #
+
+def check_placement(
+    workflow: Workflow,
+    cluster: Cluster,
+    fault_model: Optional[FaultModel] = None,
+) -> List[Finding]:
+    """Stranded-task analysis: can every task run somewhere, and still
+    run somewhere after a worst-case single permanent device loss?"""
+    findings: List[Finding] = []
+    for name, task in workflow.tasks.items():
+        sets = _eligible_devices(task, cluster)
+        if not sets["class"]:
+            classes = [str(c) for c in task.eligible_classes()]
+            findings.append(
+                error(
+                    "stranded-task", "plan", name,
+                    f"task {name!r} needs device classes {classes} but the "
+                    f"cluster {cluster.name!r} has no alive device of any "
+                    f"of them",
+                    "add a device of an eligible class or relax the task's affinity",
+                )
+            )
+        elif not sets["fit"]:
+            best = max(d.spec.memory_gb for d in sets["class"])
+            findings.append(
+                error(
+                    "stranded-task", "plan", name,
+                    f"task {name!r} needs {task.memory_gb:g} GB but the "
+                    f"largest eligible device offers {best:g} GB",
+                    "lower the task's memory_gb or add a larger device",
+                )
+            )
+        elif (
+            fault_model is not None
+            and fault_model.device_mtbf is not None
+            and len(sets["fit"]) == 1
+        ):
+            findings.append(
+                warning(
+                    "fault-fragile", "plan", name,
+                    f"permanent device faults are enabled and task {name!r} "
+                    f"is eligible on exactly one device "
+                    f"({sets['fit'][0].uid}); one unlucky draw strands it",
+                    "add a second eligible device or disable device faults",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# data / catalog boundary                                               #
+# --------------------------------------------------------------------- #
+
+def check_data(workflow: Workflow, cluster: Cluster) -> List[Finding]:
+    """File-placement feasibility across the workflow/catalog boundary."""
+    findings: List[Finding] = []
+    node_names = {n.name for n in cluster.nodes}
+    max_capacity = max(n.spec.disk_capacity_gb for n in cluster.nodes)
+    born_at: Dict[str, float] = {}
+    consumed = {f for t in workflow.tasks.values() for f in t.inputs}
+
+    for fname, f in workflow.files.items():
+        if f.size_mb / 1024.0 > max_capacity + TOL:
+            findings.append(
+                error(
+                    "file-oversized", "data", fname,
+                    f"file {fname!r} is {f.size_mb / 1024.0:.1f} GB but the "
+                    f"largest node store holds {max_capacity:g} GB; it can "
+                    f"never be resident anywhere",
+                    "shrink the file or provision a larger node store",
+                )
+            )
+        if not f.initial:
+            continue
+        if f.location is not None:
+            if f.location not in node_names:
+                findings.append(
+                    error(
+                        "file-location-unknown", "data", fname,
+                        f"initial file {fname!r} is born on node "
+                        f"{f.location!r} which cluster {cluster.name!r} "
+                        f"does not have (nodes: {sorted(node_names)})",
+                        "fix the file's location or run on a matching cluster",
+                    )
+                )
+            else:
+                born_at[f.location] = born_at.get(f.location, 0.0) + f.size_mb
+        if fname not in consumed:
+            findings.append(
+                warning(
+                    "file-unread", "data", fname,
+                    f"initial file {fname!r} is staged but no task consumes it",
+                    "drop the file or wire it to a consumer",
+                )
+            )
+
+    for node_name, total_mb in sorted(born_at.items()):
+        capacity = cluster.node(node_name).spec.disk_capacity_gb
+        if total_mb / 1024.0 > capacity + TOL:
+            findings.append(
+                error(
+                    "node-storage-overflow", "data", node_name,
+                    f"initial files born on {node_name!r} total "
+                    f"{total_mb / 1024.0:.1f} GB, beyond its "
+                    f"{capacity:g} GB store; they can never all be resident",
+                    "spread the files over more nodes or grow the store",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# platform model sanity                                                 #
+# --------------------------------------------------------------------- #
+
+def check_platform(cluster: Cluster) -> List[Finding]:
+    """Power/DVFS/storage/interconnect parameter sanity."""
+    findings: List[Finding] = []
+
+    seen_specs: Dict[int, str] = {}
+    for device in cluster.devices:
+        spec = device.spec
+        if id(spec) in seen_specs:
+            continue
+        seen_specs[id(spec)] = spec.name
+        power = spec.power
+        if power.busy_watts < power.idle_watts:
+            findings.append(
+                error(
+                    "power-insane", "platform", spec.name,
+                    f"device spec {spec.name!r} draws less busy "
+                    f"({power.busy_watts} W) than idle ({power.idle_watts} W)",
+                    "swap the figures; busy power must dominate idle",
+                )
+            )
+        if power.idle_watts < 0 or power.busy_watts < 0 or power.sleep_watts < 0:
+            findings.append(
+                error(
+                    "power-insane", "platform", spec.name,
+                    f"device spec {spec.name!r} has a negative power draw",
+                    "power draws must be non-negative",
+                )
+            )
+        if power.sleep_watts > power.idle_watts:
+            findings.append(
+                warning(
+                    "power-sleep-above-idle", "platform", spec.name,
+                    f"device spec {spec.name!r} sleeps at {power.sleep_watts} W, "
+                    f"above its idle draw {power.idle_watts} W; governors "
+                    f"would burn energy by power-gating it",
+                    "sleep power should be well below idle",
+                )
+            )
+        names = [s.name for s in power.dvfs_states]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            findings.append(
+                error(
+                    "dvfs-duplicate", "platform", spec.name,
+                    f"device spec {spec.name!r} has duplicate DVFS state "
+                    f"names {dupes}; state lookup by name is ambiguous",
+                    "give every DVFS operating point a unique name",
+                )
+            )
+
+    if cluster.storage_bandwidth <= 0 or cluster.storage_latency < 0:
+        findings.append(
+            error(
+                "storage-insane", "platform", cluster.name,
+                f"shared storage has bandwidth "
+                f"{cluster.storage_bandwidth} MB/s and latency "
+                f"{cluster.storage_latency} s",
+                "bandwidth must be positive and latency non-negative",
+            )
+        )
+
+    names = [n.name for n in cluster.nodes]
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            try:
+                cluster.interconnect.link(src, dst)
+            except KeyError:
+                findings.append(
+                    error(
+                        "missing-link", "platform", f"{src}->{dst}",
+                        f"interconnect has no link {src} -> {dst}; any "
+                        f"transfer on that pair raises at run time",
+                        "add the link or use Interconnect.uniform",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# fault / recovery model sanity                                         #
+# --------------------------------------------------------------------- #
+
+def check_fault_model(
+    fault_model: FaultModel,
+    workflow: Workflow,
+    cluster: Cluster,
+) -> List[Finding]:
+    """Statistical sanity of the failure model against this workload."""
+    findings: List[Finding] = []
+
+    if fault_model.task_fault_rate < 0:
+        findings.append(
+            error(
+                "fault-insane", "plan", "task_fault_rate",
+                f"task fault rate {fault_model.task_fault_rate} is negative",
+                "rates are failures per second and must be >= 0",
+            )
+        )
+    if fault_model.device_mtbf is not None and fault_model.device_mtbf <= 0:
+        findings.append(
+            error(
+                "fault-insane", "plan", "device_mtbf",
+                f"device MTBF {fault_model.device_mtbf} is not positive",
+                "MTBF is seconds between failures and must be > 0",
+            )
+        )
+
+    model = cluster.execution_model
+    if fault_model.task_fault_rate > 0:
+        doomed: List[str] = []
+        worst_name, worst_exp = "", 0.0
+        for name, task in workflow.tasks.items():
+            ests = [
+                model.estimate(task, d.spec)
+                for d in _eligible_devices(task, cluster)["fit"]
+            ]
+            if not ests:
+                continue  # stranded; reported by check_placement
+            expected = fault_model.task_fault_rate * min(ests)
+            if expected > EXPECTED_FAULTS_PER_ATTEMPT_LIMIT:
+                doomed.append(name)
+                if expected > worst_exp:
+                    worst_name, worst_exp = name, expected
+        if doomed:
+            findings.append(
+                warning(
+                    "fault-rate-extreme", "plan", worst_name,
+                    f"{len(doomed)} task(s) expect more than "
+                    f"{EXPECTED_FAULTS_PER_ATTEMPT_LIMIT:g} transient faults "
+                    f"per attempt even on their fastest device (worst: "
+                    f"{worst_name!r} with {worst_exp:.1f}); bounded retries "
+                    f"will almost surely exhaust",
+                    "lower task_fault_rate or enable checkpointing",
+                )
+            )
+
+    if fault_model.device_mtbf is not None and fault_model.device_mtbf > 0:
+        alive = cluster.alive_devices()
+        if alive:
+            cp_lb = workflow.critical_path_work() / max(d.speed for d in alive)
+            if fault_model.device_mtbf < cp_lb:
+                findings.append(
+                    warning(
+                        "mtbf-below-runtime", "plan", "device_mtbf",
+                        f"device MTBF {fault_model.device_mtbf:g} s is below "
+                        f"the critical-path lower bound {cp_lb:.1f} s; "
+                        f"expect device losses before any schedule can finish",
+                        "raise the MTBF or shrink the workflow",
+                    )
+                )
+    return findings
+
+
+def check_recovery(
+    recovery: RecoveryPolicy,
+    workflow: Workflow,
+    cluster: Cluster,
+) -> List[Finding]:
+    """Recovery-policy feasibility against the eligible device sets."""
+    findings: List[Finding] = []
+    if recovery.replicate_tasks <= 1:
+        return findings
+    starved = [
+        name
+        for name, task in workflow.tasks.items()
+        if 0 < len(_eligible_devices(task, cluster)["fit"]) < recovery.replicate_tasks
+    ]
+    if starved:
+        findings.append(
+            warning(
+                "replication-overcommit", "plan", starved[0],
+                f"recovery wants {recovery.replicate_tasks} hot replicas but "
+                f"{len(starved)} task(s) have fewer eligible devices "
+                f"(first: {starved[0]!r})",
+                "lower replicate_tasks or widen eligibility",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# bundled entry points                                                  #
+# --------------------------------------------------------------------- #
+
+def check_run(
+    workflow: Workflow,
+    cluster: Cluster,
+    fault_model: Optional[FaultModel] = None,
+    recovery: Optional[RecoveryPolicy] = None,
+) -> CheckReport:
+    """All plan-time checks for one (workflow, cluster, config) tuple."""
+    report = CheckReport()
+    report.extend(check_workflow(workflow))
+    report.extend(check_platform(cluster))
+    report.extend(check_data(workflow, cluster))
+    report.extend(check_placement(workflow, cluster, fault_model))
+    if fault_model is not None:
+        report.extend(check_fault_model(fault_model, workflow, cluster))
+    if recovery is not None:
+        report.extend(check_recovery(recovery, workflow, cluster))
+    return report
+
+
+def precheck_job(job) -> CheckReport:
+    """Statically check one serialized simulation cell (a ``SimJob``).
+
+    Materializes the cell exactly the way a pool worker would, runs
+    :func:`check_run`, and — for ``static``-mode cells with a clean model
+    check — also plans the schedule and audits it, so a scheduler bug in a
+    cached campaign cell is caught before any fixture is regenerated from
+    it.
+    """
+    import numpy as np
+
+    import repro.core  # noqa: F401  (registers hdws in the scheduler registry)
+    from repro.runner import specs as runner_specs
+    from repro.schedulers import REGISTRY
+    from repro.schedulers.base import SchedulingContext
+    from repro.staticcheck.schedule_audit import audit_schedule
+    from repro.workflows.serialize import workflow_from_dict
+
+    workflow = workflow_from_dict(job.workflow)
+    cluster = runner_specs.build(job.cluster)
+    config = {k: runner_specs.build(v) for k, v in job.config.items()}
+
+    report = check_run(
+        workflow,
+        cluster,
+        fault_model=config.get("fault_model"),
+        recovery=config.get("recovery"),
+    )
+    if not report.ok or config.get("mode", "static") != "static":
+        return report
+
+    scheduler = job.scheduler
+    if isinstance(scheduler, str):
+        scheduler = REGISTRY[scheduler]()
+    else:
+        scheduler = runner_specs.build(scheduler)
+    seed = int(config.get("seed", 0))
+    error_cv = float(config.get("estimate_error_cv", 0.0))
+    context = SchedulingContext(
+        workflow,
+        cluster,
+        estimate_error_cv=error_cv,
+        rng=np.random.default_rng(seed + 7919) if error_cv > 0 else None,
+        release_times=config.get("release_times"),
+    )
+    plan = scheduler.schedule(context)
+    report.extend(audit_schedule(plan, workflow, cluster))
+    return report

@@ -1,0 +1,185 @@
+"""Static schedule auditor: typed findings instead of golden-makespan drift.
+
+A :class:`~repro.schedulers.schedule.Schedule` is the contract between
+schedulers and the executor.  The auditor verifies any schedule object —
+freshly planned, hand-built, or deserialized — against its workflow and
+cluster without running anything:
+
+* ``schedule-missing-task`` / ``schedule-unknown-task`` — the assignment
+  set and the workflow's task set must match exactly;
+* ``schedule-unknown-device`` / ``schedule-dead-device`` /
+  ``schedule-ineligible-device`` — every task must be placed on an
+  existing, alive device its affinity and memory allow;
+* ``schedule-precedence`` — under the planned (estimated) finish times, no
+  task may start before any predecessor finishes;
+* ``schedule-negative-time`` — no assignment may start before t=0;
+* ``schedule-slot-overflow`` — per device, the peak number of overlapping
+  assignments must not exceed the device's slot count (the plan-time twin
+  of the sanitizer's ``busy-overlap`` / ``max_concurrent_intervals``
+  audit);
+* ``schedule-unknown-dvfs`` — any chosen DVFS state must exist on the
+  assigned device's power model.
+
+Scheduler bugs thereby surface as typed findings with the offending task
+named, instead of as unexplained drift in the golden regression grid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.platform.cluster import Cluster
+from repro.schedulers.schedule import Schedule
+from repro.staticcheck.findings import Finding, error
+from repro.workflows.graph import Workflow
+
+#: Layer tag for every finding this module emits.
+LAYER = "schedule"
+
+#: Numeric slack for time comparisons (matches Schedule.validate_against).
+TOL = 1e-9
+
+
+def _preview(names: List[str], limit: int = 5) -> str:
+    """First few names, with an ellipsis for long lists."""
+    shown = ", ".join(repr(n) for n in names[:limit])
+    return shown + (", ..." if len(names) > limit else "")
+
+
+def audit_schedule(
+    schedule: Schedule, workflow: Workflow, cluster: Cluster
+) -> List[Finding]:
+    """All static findings for one schedule (empty list = sound plan)."""
+    findings: List[Finding] = []
+    assignments = schedule.assignments
+
+    missing = sorted(set(workflow.tasks) - set(assignments))
+    if missing:
+        findings.append(
+            error(
+                "schedule-missing-task", LAYER, missing[0],
+                f"schedule places {len(assignments)} task(s) but misses "
+                f"{len(missing)}: {_preview(missing)}",
+                "every workflow task must be assigned exactly once",
+            )
+        )
+    unknown = sorted(set(assignments) - set(workflow.tasks))
+    if unknown:
+        findings.append(
+            error(
+                "schedule-unknown-task", LAYER, unknown[0],
+                f"schedule places {len(unknown)} task(s) the workflow does "
+                f"not have: {_preview(unknown)}",
+                "the schedule was built for a different workflow",
+            )
+        )
+
+    model = cluster.execution_model
+    for name in sorted(set(assignments) & set(workflow.tasks)):
+        a = assignments[name]
+        task = workflow.tasks[name]
+        try:
+            device = cluster.device(a.device)
+        except KeyError:
+            findings.append(
+                error(
+                    "schedule-unknown-device", LAYER, name,
+                    f"task {name!r} is placed on device {a.device!r} which "
+                    f"cluster {cluster.name!r} does not have",
+                    "the schedule was built for a different cluster",
+                )
+            )
+            device = None
+        if device is not None:
+            if device.failed:
+                findings.append(
+                    error(
+                        "schedule-dead-device", LAYER, name,
+                        f"task {name!r} is placed on failed device "
+                        f"{device.uid}",
+                        "re-plan against the alive device set",
+                    )
+                )
+            elif not model.eligible(task, device.spec):
+                findings.append(
+                    error(
+                        "schedule-ineligible-device", LAYER, name,
+                        f"task {name!r} (classes "
+                        f"{[str(c) for c in task.eligible_classes()]}) is "
+                        f"placed on {device.uid} of class "
+                        f"{device.device_class}",
+                        "the scheduler ignored the task's affinity",
+                    )
+                )
+            elif device.spec.memory_gb < task.memory_gb:
+                findings.append(
+                    error(
+                        "schedule-ineligible-device", LAYER, name,
+                        f"task {name!r} needs {task.memory_gb:g} GB but "
+                        f"{device.uid} offers {device.spec.memory_gb:g} GB",
+                        "the scheduler ignored the task's memory need",
+                    )
+                )
+            dvfs = schedule.dvfs_choice.get(name)
+            if dvfs is not None:
+                try:
+                    device.spec.power.state(dvfs)
+                except KeyError:
+                    findings.append(
+                        error(
+                            "schedule-unknown-dvfs", LAYER, name,
+                            f"task {name!r} requests DVFS state {dvfs!r} "
+                            f"which {device.uid} does not offer",
+                            "choose a state from the device's ladder",
+                        )
+                    )
+        if a.start < -TOL:
+            findings.append(
+                error(
+                    "schedule-negative-time", LAYER, name,
+                    f"task {name!r} is planned to start at {a.start:.6g}",
+                    "plans must not start before t=0",
+                )
+            )
+        for pred in workflow.predecessors(name):
+            pa = assignments.get(pred)
+            if pa is not None and pa.finish > a.start + TOL:
+                findings.append(
+                    error(
+                        "schedule-precedence", LAYER, name,
+                        f"task {name!r} starts at {a.start:.6g} before its "
+                        f"predecessor {pred!r} finishes at {pa.finish:.6g}",
+                        "communication can only delay starts, never allow "
+                        "earlier ones",
+                    )
+                )
+
+    # Slot oversubscription: peak overlap per device vs its slot count,
+    # computed from the assignments themselves (the timelines may have
+    # been bypassed by whoever built the schedule).
+    per_device: Dict[str, List[Tuple[float, int]]] = {}
+    for name, a in assignments.items():
+        if a.finish > a.start:
+            events = per_device.setdefault(a.device, [])
+            events.append((a.start, 1))
+            events.append((a.finish, -1))
+    for uid in sorted(per_device):
+        try:
+            slots = cluster.device(uid).spec.slots
+        except KeyError:
+            continue  # already reported as schedule-unknown-device
+        events = sorted(per_device[uid], key=lambda ev: (ev[0], ev[1]))
+        current = peak = 0
+        for _time, delta in events:
+            current += delta
+            peak = max(peak, current)
+        if peak > slots:
+            findings.append(
+                error(
+                    "schedule-slot-overflow", LAYER, uid,
+                    f"device {uid} has {peak} overlapping planned tasks but "
+                    f"only {slots} slot(s)",
+                    "the scheduler double-booked the device",
+                )
+            )
+    return findings

@@ -1,17 +1,20 @@
-"""Structural validation of workflows.
+"""Structural validation of workflows — shim over :mod:`repro.staticcheck`.
 
-The :class:`Workflow` builder already rejects locally-invalid mutations
-(duplicate names, unknown files, double producers).  This module performs
-the *global* checks a workflow management system runs at submission time:
-acyclicity, no orphan files, consumed-but-never-produced files, unreachable
-tasks, and eligibility sanity (every task runnable on at least one device
-class).
+The submission-time checks that used to live here (acyclicity, orphan
+files, consumed-but-never-produced files, eligibility sanity, no-op
+tasks) are now the ``workflow`` layer of the static-analysis subsystem:
+:func:`repro.staticcheck.check_workflow` returns them as typed findings
+alongside the cross-layer model checks.  This module keeps the historical
+entry points — :func:`find_problems` returning message strings and
+:func:`validate_workflow` raising :class:`ValidationError` on any problem
+— for the orchestrator and existing callers.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.staticcheck.workflow_checks import check_workflow
 from repro.workflows.graph import Workflow
 
 
@@ -27,47 +30,7 @@ class ValidationError(ValueError):
 
 def find_problems(workflow: Workflow) -> List[str]:
     """Return a list of human-readable problems (empty = valid)."""
-    problems: List[str] = []
-
-    if workflow.n_tasks == 0:
-        problems.append("workflow has no tasks")
-        return problems
-
-    if not workflow.is_acyclic():
-        problems.append("dependency graph contains a cycle")
-
-    produced = {f for t in workflow.tasks.values() for f in t.outputs}
-    consumed = {f for t in workflow.tasks.values() for f in t.inputs}
-
-    for fname, f in workflow.files.items():
-        if f.initial:
-            if fname in produced:
-                problems.append(f"initial file {fname!r} is also produced")
-        else:
-            if fname not in produced:
-                if fname in consumed:
-                    problems.append(
-                        f"file {fname!r} is consumed but never produced and not initial"
-                    )
-                else:
-                    problems.append(f"file {fname!r} is registered but unused")
-
-    for fname in produced:
-        if fname not in consumed and workflow.files[fname].initial:
-            # unreachable: builder rejects producing initial files
-            problems.append(f"initial file {fname!r} produced")  # pragma: no cover
-
-    for task in workflow.tasks.values():
-        if not task.eligible_classes():
-            problems.append(
-                f"task {task.name!r} is eligible on no device class"
-            )
-        if task.work == 0 and not task.inputs and not task.outputs:
-            problems.append(
-                f"task {task.name!r} has zero work and no data role"
-            )
-
-    return problems
+    return [finding.message for finding in check_workflow(workflow)]
 
 
 def validate_workflow(workflow: Workflow) -> None:

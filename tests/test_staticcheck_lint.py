@@ -1,0 +1,279 @@
+"""Determinism-lint tests.
+
+Mutation self-tests (every lint check must fire on a seeded snippet and
+stay silent on the blessed idiom), allowlist behaviour, and the
+tree-level guarantee the CI gate relies on: the shipped ``src/repro``
+source lints clean.
+"""
+
+import os
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.staticcheck.lint import (
+    DEFAULT_ALLOWLIST,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_allowlist,
+    main as lint_main,
+)
+
+
+def run_lint(snippet, allow=()):
+    return lint_source(textwrap.dedent(snippet), path="mod.py", allow=allow)
+
+
+def checks(findings):
+    return {f.check for f in findings}
+
+
+class TestWallClock:
+    def test_time_time_fires(self):
+        fs = run_lint("""
+            import time
+            now = time.time()
+        """)
+        assert checks(fs) == {"wall-clock"}
+
+    def test_datetime_now_fires(self):
+        fs = run_lint("""
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+        assert checks(fs) == {"wall-clock"}
+
+    def test_datetime_module_utcnow_fires(self):
+        fs = run_lint("""
+            import datetime
+            stamp = datetime.datetime.utcnow()
+        """)
+        assert checks(fs) == {"wall-clock"}
+
+    def test_perf_counter_is_allowed(self):
+        fs = run_lint("""
+            import time
+            t0 = time.perf_counter()
+        """)
+        assert fs == []
+
+    def test_local_variable_named_time_is_not_flagged(self):
+        fs = run_lint("""
+            def f(time):
+                return time()
+        """)
+        assert fs == []
+
+
+class TestGlobalRandom:
+    def test_np_random_module_call_fires(self):
+        fs = run_lint("""
+            import numpy as np
+            x = np.random.rand(3)
+        """)
+        assert checks(fs) == {"global-random"}
+
+    def test_stdlib_random_fires(self):
+        fs = run_lint("""
+            import random
+            x = random.random()
+        """)
+        assert checks(fs) == {"global-random"}
+
+    def test_seeded_generator_draw_is_allowed(self):
+        fs = run_lint("""
+            import numpy as np
+            def f(rng):
+                return rng.normal()
+        """)
+        assert fs == []
+
+    def test_rng_constructors_are_allowed(self):
+        fs = run_lint("""
+            import numpy as np
+            def f(seed):
+                seq = np.random.SeedSequence(seed)
+                return np.random.Generator(np.random.PCG64(seq))
+        """)
+        assert fs == []
+
+
+class TestUnseededRng:
+    def test_no_seed_fires(self):
+        fs = run_lint("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert checks(fs) == {"unseeded-rng"}
+
+    def test_constant_literal_seed_fires(self):
+        fs = run_lint("""
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """)
+        assert checks(fs) == {"unseeded-rng"}
+
+    def test_threaded_seed_is_allowed(self):
+        fs = run_lint("""
+            import numpy as np
+            def f(seed):
+                return np.random.default_rng(seed + 7919)
+        """)
+        assert fs == []
+
+    def test_from_import_alias_is_resolved(self):
+        fs = run_lint("""
+            from numpy.random import default_rng
+            rng = default_rng()
+        """)
+        assert checks(fs) == {"unseeded-rng"}
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_fires(self):
+        fs = run_lint("""
+            for x in {"a", "b"}:
+                print(x)
+        """)
+        assert checks(fs) == {"set-iteration"}
+
+    def test_comprehension_over_set_call_fires(self):
+        fs = run_lint("""
+            def f(xs):
+                return [x for x in set(xs)]
+        """)
+        assert checks(fs) == {"set-iteration"}
+
+    def test_sorted_set_is_allowed(self):
+        fs = run_lint("""
+            def f(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+        """)
+        assert fs == []
+
+
+class TestDictMutation:
+    def test_subscript_assign_during_iteration_fires(self):
+        fs = run_lint("""
+            def f(d):
+                for k in d:
+                    d[k + 1] = 0
+        """)
+        assert checks(fs) == {"dict-mutation-in-loop"}
+
+    def test_pop_during_items_iteration_fires(self):
+        fs = run_lint("""
+            def f(d):
+                for k, v in d.items():
+                    d.pop(k)
+        """)
+        assert checks(fs) == {"dict-mutation-in-loop"}
+
+    def test_del_during_iteration_fires(self):
+        fs = run_lint("""
+            def f(d):
+                for k in d.keys():
+                    del d[k]
+        """)
+        assert checks(fs) == {"dict-mutation-in-loop"}
+
+    def test_list_snapshot_is_allowed(self):
+        fs = run_lint("""
+            def f(d):
+                for k in list(d):
+                    del d[k]
+        """)
+        assert fs == []
+
+    def test_mutating_a_different_dict_is_allowed(self):
+        fs = run_lint("""
+            def f(d, out):
+                for k in d:
+                    out[k] = d[k]
+        """)
+        assert fs == []
+
+
+class TestAllowlist:
+    def test_allow_entry_suppresses_matching_check(self):
+        snippet = """
+            import time
+            now = time.time()
+        """
+        assert run_lint(snippet, allow=[("mod.py", "wall-clock")]) == []
+        # Wrong check id does not suppress.
+        assert run_lint(snippet, allow=[("mod.py", "global-random")]) != []
+        # Non-matching path does not suppress.
+        assert run_lint(snippet, allow=[("other.py", "wall-clock")]) != []
+
+    def test_load_allowlist_parses_and_rejects(self, tmp_path):
+        good = tmp_path / "allow.txt"
+        good.write_text(
+            "# comment\n"
+            "src/foo.py::wall-clock  # trailing comment\n"
+            "\n"
+            "bar::set-iteration\n",
+            encoding="utf-8",
+        )
+        assert load_allowlist(str(good)) == [
+            ("src/foo.py", "wall-clock"),
+            ("bar", "set-iteration"),
+        ]
+        bad = tmp_path / "bad.txt"
+        bad.write_text("no-separator-here\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_allowlist(str(bad))
+
+
+class TestTreeLint:
+    def repro_src(self):
+        import repro
+
+        return os.path.dirname(os.path.abspath(repro.__file__))
+
+    def test_src_repro_lints_clean(self):
+        findings = lint_paths([self.repro_src()],
+                              allowlist_file=DEFAULT_ALLOWLIST)
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_iter_python_files_expands_and_dedups(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n", encoding="utf-8")
+        (tmp_path / "sub" / "c.txt").write_text("no\n", encoding="utf-8")
+        files = iter_python_files([str(tmp_path), str(tmp_path / "a.py")])
+        assert [os.path.basename(f) for f in files] == ["a.py", "b.py"]
+
+    def test_lint_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nnow = time.time()\n", encoding="utf-8")
+        assert lint_main([str(dirty)]) == 1
+        assert "wall-clock" in capsys.readouterr().out
+
+
+class TestRngThreading:
+    """Satellite of the lint fix: estimate error now requires a caller rng."""
+
+    def test_context_requires_rng_for_estimate_error(
+        self, small_montage, hybrid_cluster
+    ):
+        from repro.schedulers.base import SchedulingContext
+
+        with pytest.raises(ValueError, match="caller-supplied rng"):
+            SchedulingContext(small_montage, hybrid_cluster,
+                              estimate_error_cv=0.5)
+
+    def test_context_accepts_threaded_rng(self, small_montage, hybrid_cluster):
+        from repro.schedulers.base import SchedulingContext
+
+        ctx = SchedulingContext(small_montage, hybrid_cluster,
+                                estimate_error_cv=0.5,
+                                rng=np.random.default_rng(11))
+        assert ctx.workflow is small_montage

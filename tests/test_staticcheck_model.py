@@ -1,0 +1,354 @@
+"""Model-checker tests.
+
+Mutation self-tests in the sanitizer's style: every static check must
+fire on a configuration seeded with exactly its target defect, and the
+clean configurations used throughout the suite must pass.  Defensive
+checks whose defect the domain constructors already reject (negative
+power draws, negative fault rates) are seeded by bypassing the frozen
+dataclass validation — the checker must still catch hand-built or
+deserialized objects that skipped ``__post_init__``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.models import FaultModel
+from repro.faults.recovery import RecoveryPolicy
+from repro.platform.cluster import Cluster
+from repro.platform.devices import DeviceClass, DeviceSpec
+from repro.platform.interconnect import Interconnect, Link
+from repro.platform.nodes import NodeSpec
+from repro.platform.power import DvfsState, PowerModel
+from repro.staticcheck import (
+    Severity,
+    StaticCheckError,
+    check_data,
+    check_fault_model,
+    check_placement,
+    check_platform,
+    check_recovery,
+    check_run,
+    precheck_job,
+)
+from repro.workflows.generators import montage
+from repro.workflows.graph import Workflow
+from repro.workflows.serialize import workflow_to_json
+from repro.workflows.task import DataFile, Task, cpu_task
+
+
+def cpu_spec(**kwargs) -> DeviceSpec:
+    kwargs.setdefault("name", "testcpu")
+    kwargs.setdefault("speed", 10.0)
+    return DeviceSpec(device_class=DeviceClass.CPU, **kwargs)
+
+
+def one_node_cluster(spec=None, **node_kwargs) -> Cluster:
+    node = NodeSpec("n0", (spec or cpu_spec(),), **node_kwargs)
+    return Cluster("test-cluster", [node])
+
+
+def chain_workflow() -> Workflow:
+    wf = Workflow("chain")
+    wf.add_file(DataFile("fin", 1.0, initial=True))
+    wf.add_file(DataFile("mid", 1.0))
+    wf.add_file(DataFile("out", 1.0))
+    wf.add_task(cpu_task("a", 10.0, inputs=("fin",), outputs=("mid",)))
+    wf.add_task(cpu_task("b", 10.0, inputs=("mid",), outputs=("out",)))
+    return wf
+
+
+def gpu_only_workflow() -> Workflow:
+    wf = Workflow("gpu-only")
+    wf.add_file(DataFile("out", 1.0))
+    wf.add_task(Task("g", 10.0, affinity={DeviceClass.CPU: 0.0,
+                                          DeviceClass.GPU: 5.0},
+                     outputs=("out",)))
+    return wf
+
+
+def insane_power(idle: float, busy: float, sleep: float = 0.5) -> PowerModel:
+    """A PowerModel bypassing constructor validation (deserialization twin)."""
+    power = object.__new__(PowerModel)
+    object.__setattr__(power, "idle_watts", idle)
+    object.__setattr__(power, "busy_watts", busy)
+    object.__setattr__(power, "sleep_watts", sleep)
+    object.__setattr__(power, "dvfs_states", [])
+    return power
+
+
+def insane_faults(rate: float = 0.0, mtbf=None) -> FaultModel:
+    """A FaultModel bypassing constructor validation."""
+    fm = object.__new__(FaultModel)
+    object.__setattr__(fm, "task_fault_rate", rate)
+    object.__setattr__(fm, "device_mtbf", mtbf)
+    object.__setattr__(fm, "device_data_loss", True)
+    return fm
+
+
+def by_check(findings, check):
+    return [f for f in findings if f.check == check]
+
+
+class TestPlacement:
+    def test_stranded_task_no_class_fires(self):
+        findings = check_placement(gpu_only_workflow(), one_node_cluster())
+        hits = by_check(findings, "stranded-task")
+        assert hits and hits[0].severity == Severity.ERROR
+        assert "no alive device" in hits[0].message
+
+    def test_stranded_task_memory_fires(self):
+        wf = Workflow("fat")
+        wf.add_file(DataFile("out", 1.0))
+        wf.add_task(cpu_task("fat", 10.0, memory_gb=1e6, outputs=("out",)))
+        findings = check_placement(wf, one_node_cluster())
+        hits = by_check(findings, "stranded-task")
+        assert hits and "GB" in hits[0].message
+
+    def test_stranded_after_device_loss_is_fault_fragile(self):
+        findings = check_placement(
+            chain_workflow(), one_node_cluster(),
+            fault_model=FaultModel(device_mtbf=1e6),
+        )
+        hits = by_check(findings, "fault-fragile")
+        assert hits and hits[0].severity == Severity.WARNING
+
+    def test_clean_placement_has_no_findings(self):
+        assert check_placement(chain_workflow(), one_node_cluster()) == []
+
+
+class TestData:
+    def test_file_oversized_fires(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("huge", 1e9, initial=True))
+        wf.add_task(cpu_task("r", 1.0, inputs=("huge",)))
+        cluster = one_node_cluster(disk_capacity_gb=100.0)
+        assert by_check(check_data(wf, cluster), "file-oversized")
+
+    def test_file_location_unknown_fires(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("lost", 1.0, initial=True, location="mars"))
+        wf.add_task(cpu_task("r", 1.0, inputs=("lost",)))
+        assert by_check(check_data(wf, one_node_cluster()),
+                        "file-location-unknown")
+
+    def test_node_storage_overflow_fires(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("big1", 60.0 * 1024, initial=True, location="n0"))
+        wf.add_file(DataFile("big2", 60.0 * 1024, initial=True, location="n0"))
+        wf.add_task(cpu_task("r", 1.0, inputs=("big1", "big2")))
+        cluster = one_node_cluster(disk_capacity_gb=100.0)
+        assert by_check(check_data(wf, cluster), "node-storage-overflow")
+
+    def test_file_unread_fires_as_warning(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("staged", 1.0, initial=True))
+        hits = by_check(check_data(wf, one_node_cluster()), "file-unread")
+        assert hits and hits[0].severity == Severity.WARNING
+
+    def test_clean_data_has_no_findings(self):
+        assert check_data(chain_workflow(), one_node_cluster()) == []
+
+
+class TestPlatform:
+    def test_power_busy_below_idle_fires(self):
+        spec = cpu_spec(power=insane_power(idle=100.0, busy=10.0))
+        hits = by_check(check_platform(one_node_cluster(spec)), "power-insane")
+        assert hits and "less busy" in hits[0].message
+
+    def test_power_negative_draw_fires(self):
+        spec = cpu_spec(power=insane_power(idle=-5.0, busy=50.0))
+        hits = by_check(check_platform(one_node_cluster(spec)), "power-insane")
+        assert hits and "negative" in hits[0].message
+
+    def test_sleep_above_idle_fires_as_warning(self):
+        spec = cpu_spec(power=PowerModel(idle_watts=10.0, busy_watts=100.0,
+                                         sleep_watts=25.0))
+        hits = by_check(check_platform(one_node_cluster(spec)),
+                        "power-sleep-above-idle")
+        assert hits and hits[0].severity == Severity.WARNING
+
+    def test_dvfs_duplicate_fires(self):
+        ladder = [DvfsState("p0", 1.0, 1.0), DvfsState("p0", 0.7, 0.35)]
+        spec = cpu_spec(power=PowerModel(dvfs_states=ladder))
+        assert by_check(check_platform(one_node_cluster(spec)),
+                        "dvfs-duplicate")
+
+    def test_storage_insane_fires(self):
+        cluster = one_node_cluster()
+        cluster.storage_latency = -1.0
+        assert by_check(check_platform(cluster), "storage-insane")
+
+    def test_missing_link_fires(self):
+        ic = Interconnect()
+        ic.add_link(Link("n0", "n1", bandwidth=1000.0, latency=1e-3))
+        cluster = Cluster(
+            "half-wired",
+            [NodeSpec("n0", (cpu_spec(),)), NodeSpec("n1", (cpu_spec(),))],
+            interconnect=ic,
+        )
+        hits = by_check(check_platform(cluster), "missing-link")
+        assert hits and "n1->n0" in hits[0].location
+
+    def test_clean_platform_has_no_findings(self, hybrid_cluster):
+        assert check_platform(hybrid_cluster) == []
+
+
+class TestFaultModel:
+    def test_negative_rate_fires(self):
+        assert by_check(
+            check_fault_model(insane_faults(rate=-1.0), chain_workflow(),
+                              one_node_cluster()),
+            "fault-insane",
+        )
+
+    def test_nonpositive_mtbf_fires(self):
+        assert by_check(
+            check_fault_model(insane_faults(mtbf=0.0), chain_workflow(),
+                              one_node_cluster()),
+            "fault-insane",
+        )
+
+    def test_fault_rate_extreme_fires(self):
+        # work 10 on a 10 Gop/s device = 1 s/attempt; 100 faults/s dooms it.
+        findings = check_fault_model(
+            FaultModel(task_fault_rate=100.0), chain_workflow(),
+            one_node_cluster(),
+        )
+        hits = by_check(findings, "fault-rate-extreme")
+        assert hits and hits[0].severity == Severity.WARNING
+
+    def test_mtbf_below_runtime_fires(self):
+        findings = check_fault_model(
+            FaultModel(device_mtbf=1e-3), chain_workflow(),
+            one_node_cluster(),
+        )
+        assert by_check(findings, "mtbf-below-runtime")
+
+    def test_mild_faults_are_clean(self):
+        findings = check_fault_model(
+            FaultModel(task_fault_rate=1e-4, device_mtbf=1e7),
+            chain_workflow(), one_node_cluster(),
+        )
+        assert findings == []
+
+
+class TestRecovery:
+    def test_replication_overcommit_fires(self):
+        findings = check_recovery(
+            RecoveryPolicy(replicate_tasks=3), chain_workflow(),
+            one_node_cluster(),
+        )
+        hits = by_check(findings, "replication-overcommit")
+        assert hits and hits[0].severity == Severity.WARNING
+
+    def test_feasible_replication_is_clean(self, hybrid_cluster):
+        assert check_recovery(
+            RecoveryPolicy(replicate_tasks=2), chain_workflow(),
+            hybrid_cluster,
+        ) == []
+
+
+class TestCheckRun:
+    def test_clean_cell_is_ok(self, small_montage, hybrid_cluster):
+        report = check_run(small_montage, hybrid_cluster,
+                           fault_model=FaultModel(task_fault_rate=1e-4),
+                           recovery=RecoveryPolicy())
+        assert report.ok and not report.findings
+
+    def test_infeasible_cell_raises(self):
+        report = check_run(gpu_only_workflow(), one_node_cluster())
+        assert not report.ok
+        with pytest.raises(StaticCheckError) as exc_info:
+            report.raise_if_errors()
+        assert "stranded-task" in str(exc_info.value)
+
+    def test_warnings_do_not_block(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("staged", 1.0, initial=True))  # file-unread
+        report = check_run(wf, one_node_cluster())
+        assert report.warnings and report.ok
+        report.raise_if_errors()  # must not raise
+
+    def test_render_ends_with_summary(self):
+        report = check_run(chain_workflow(), one_node_cluster())
+        assert report.render().splitlines()[-1] == "static check: clean"
+
+
+class TestPrecheckJob:
+    def test_golden_cells_are_clean(self):
+        from repro.runner.campaign import golden_jobs
+
+        for job in golden_jobs():
+            report = precheck_job(job)
+            assert report.ok, f"{job.label}: {report.render()}"
+
+    def test_infeasible_cell_is_caught(self):
+        from repro.experiments.common import make_job, preset_spec
+
+        job = make_job(gpu_only_workflow(), preset_spec("cpu"),
+                       scheduler="heft", label="doomed")
+        report = precheck_job(job)
+        assert not report.ok
+        assert report.by_check("stranded-task")
+
+
+class TestOrchestratorPrecheck:
+    def test_precheck_blocks_infeasible_run(self):
+        from repro import run_workflow
+
+        with pytest.raises(StaticCheckError):
+            run_workflow(gpu_only_workflow(), one_node_cluster(),
+                         scheduler="heft", precheck=True, validate=False)
+
+    def test_precheck_env_variable(self, monkeypatch):
+        from repro import run_workflow
+
+        monkeypatch.setenv("REPRO_PRECHECK", "1")
+        with pytest.raises(StaticCheckError):
+            run_workflow(gpu_only_workflow(), one_node_cluster(),
+                         scheduler="heft", validate=False)
+
+    def test_precheck_clean_run_succeeds(self, small_montage, hybrid_cluster):
+        from repro import run_workflow
+
+        result = run_workflow(small_montage, hybrid_cluster,
+                              scheduler="heft", precheck=True)
+        assert result.success
+
+
+class TestSanitizerBridge:
+    def test_violation_converts_to_finding(self):
+        from repro.sanitizer import Violation
+
+        finding = Violation("busy-overlap", 12.5, "two clones overlap").as_finding()
+        assert finding.check == "busy-overlap"
+        assert finding.severity == Severity.ERROR
+        assert finding.layer == "runtime"
+        assert "t=12.5" in finding.location
+        assert "two clones overlap" in str(finding)
+
+
+class TestCli:
+    def test_check_clean_exits_zero(self, capsys):
+        assert main(["check", "--workflow", "montage", "--size", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "static check: clean" in out
+
+    def test_check_infeasible_exits_nonzero(self, tmp_path, capsys):
+        doc = json.loads(workflow_to_json(montage(n_images=3, seed=0)))
+        for task in doc["tasks"]:
+            task["affinity"] = {"gpu": 1.0, "cpu": 0.0}
+        path = tmp_path / "gpu_only.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        rc = main(["check", "--input", str(path), "--cluster", "cpu"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "stranded-task" in out
+        assert "error" in out
+
+    def test_run_precheck_flag(self, capsys):
+        rc = main(["run", "--workflow", "montage", "--size", "10",
+                   "--precheck"])
+        assert rc == 0

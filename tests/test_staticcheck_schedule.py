@@ -1,0 +1,155 @@
+"""Schedule-auditor tests.
+
+Mutation self-tests: each ``schedule-*`` check must fire on a schedule
+seeded with exactly its defect.  Defects that :class:`Schedule.add`
+itself rejects (double-booked timelines) are seeded by writing the
+assignments dict directly — the auditor exists precisely to catch
+schedules whose construction bypassed the safe API.
+"""
+
+from repro.platform.cluster import Cluster
+from repro.platform.devices import DeviceClass, DeviceSpec
+from repro.platform.nodes import NodeSpec
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.heft import HeftScheduler
+from repro.schedulers.schedule import Assignment, Schedule
+from repro.staticcheck import audit_schedule
+from repro.workflows.graph import Workflow
+from repro.workflows.task import DataFile, Task, cpu_task
+
+
+def two_device_cluster() -> Cluster:
+    spec = DeviceSpec("c", DeviceClass.CPU, speed=10.0)
+    return Cluster("pair", [NodeSpec("n0", (spec, spec))])
+
+
+UID0 = "n0:c#0"
+UID1 = "n0:c#1"
+
+
+def chain_workflow() -> Workflow:
+    wf = Workflow("chain")
+    wf.add_file(DataFile("fin", 1.0, initial=True))
+    wf.add_file(DataFile("mid", 1.0))
+    wf.add_file(DataFile("out", 1.0))
+    wf.add_task(cpu_task("a", 10.0, inputs=("fin",), outputs=("mid",)))
+    wf.add_task(cpu_task("b", 10.0, inputs=("mid",), outputs=("out",)))
+    return wf
+
+
+def good_plan() -> Schedule:
+    plan = Schedule()
+    plan.add("a", UID0, 0.0, 1.0)
+    plan.add("b", UID0, 1.0, 2.0)
+    return plan
+
+
+def checks(findings):
+    return {f.check for f in findings}
+
+
+class TestAuditMutations:
+    def test_sound_plan_is_clean(self):
+        fs = audit_schedule(good_plan(), chain_workflow(), two_device_cluster())
+        assert fs == []
+
+    def test_missing_task_fires(self):
+        plan = Schedule()
+        plan.add("a", UID0, 0.0, 1.0)
+        fs = audit_schedule(plan, chain_workflow(), two_device_cluster())
+        assert "schedule-missing-task" in checks(fs)
+
+    def test_unknown_task_fires(self):
+        plan = good_plan()
+        plan.add("ghost", UID1, 0.0, 1.0)
+        fs = audit_schedule(plan, chain_workflow(), two_device_cluster())
+        assert "schedule-unknown-task" in checks(fs)
+
+    def test_unknown_device_fires(self):
+        plan = Schedule()
+        plan.add("a", "mars:x#0", 0.0, 1.0)
+        plan.add("b", UID0, 1.0, 2.0)
+        fs = audit_schedule(plan, chain_workflow(), two_device_cluster())
+        assert "schedule-unknown-device" in checks(fs)
+
+    def test_dead_device_fires(self):
+        cluster = two_device_cluster()
+        cluster.device(UID0).failed = True
+        fs = audit_schedule(good_plan(), chain_workflow(), cluster)
+        assert "schedule-dead-device" in checks(fs)
+
+    def test_ineligible_class_fires(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("gout", 1.0))
+        wf.add_task(Task("g", 10.0, affinity={DeviceClass.CPU: 0.0,
+                                              DeviceClass.GPU: 5.0},
+                         outputs=("gout",)))
+        plan = good_plan()
+        plan.add("g", UID1, 0.0, 1.0)
+        fs = audit_schedule(plan, wf, two_device_cluster())
+        hits = [f for f in fs if f.check == "schedule-ineligible-device"]
+        assert hits and "class" in hits[0].message
+
+    def test_ineligible_memory_fires(self):
+        wf = chain_workflow()
+        wf.add_file(DataFile("fout", 1.0))
+        wf.add_task(cpu_task("fat", 10.0, memory_gb=1e6, outputs=("fout",)))
+        plan = good_plan()
+        plan.add("fat", UID1, 0.0, 1.0)
+        fs = audit_schedule(plan, wf, two_device_cluster())
+        hits = [f for f in fs if f.check == "schedule-ineligible-device"]
+        assert hits and "GB" in hits[0].message
+
+    def test_unknown_dvfs_fires(self):
+        plan = good_plan()
+        plan.dvfs_choice["a"] = "warp9"
+        fs = audit_schedule(plan, chain_workflow(), two_device_cluster())
+        assert "schedule-unknown-dvfs" in checks(fs)
+
+    def test_negative_time_fires(self):
+        plan = Schedule()
+        plan.add("a", UID0, -5.0, -4.0)
+        plan.add("b", UID0, 0.0, 1.0)
+        fs = audit_schedule(plan, chain_workflow(), two_device_cluster())
+        assert "schedule-negative-time" in checks(fs)
+
+    def test_precedence_violation_fires(self):
+        plan = Schedule()
+        plan.add("a", UID0, 0.0, 2.0)
+        plan.add("b", UID1, 0.5, 1.5)  # starts before its predecessor ends
+        fs = audit_schedule(plan, chain_workflow(), two_device_cluster())
+        assert "schedule-precedence" in checks(fs)
+
+    def test_slot_overflow_fires(self):
+        # Schedule.add would reject the overlap, so write the assignments
+        # directly — the auditor must not trust the timelines.
+        plan = Schedule()
+        plan.assignments["a"] = Assignment("a", UID0, 0.0, 2.0)
+        plan.assignments["b"] = Assignment("b", UID0, 2.5, 3.5)
+        wf = chain_workflow()
+        wf.add_file(DataFile("cout", 1.0))
+        wf.add_task(cpu_task("c", 10.0, outputs=("cout",)))
+        plan.assignments["c"] = Assignment("c", UID0, 0.5, 1.5)
+        fs = audit_schedule(plan, wf, two_device_cluster())
+        assert "schedule-slot-overflow" in checks(fs)
+
+
+class TestRealSchedulers:
+    def test_heft_plan_passes_audit(self, small_montage, hybrid_cluster):
+        plan = HeftScheduler().schedule(
+            SchedulingContext(small_montage, hybrid_cluster)
+        )
+        assert audit_schedule(plan, small_montage, hybrid_cluster) == []
+
+    def test_every_registered_scheduler_passes_audit(
+        self, small_montage, hybrid_cluster
+    ):
+        import repro.core  # noqa: F401  (registers hdws)
+        from repro.schedulers import REGISTRY
+
+        for name in sorted(REGISTRY):
+            hybrid_cluster.reset()
+            ctx = SchedulingContext(small_montage, hybrid_cluster)
+            plan = REGISTRY[name]().schedule(ctx)
+            findings = audit_schedule(plan, small_montage, hybrid_cluster)
+            assert findings == [], f"{name}: {[str(f) for f in findings]}"
