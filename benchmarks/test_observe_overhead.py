@@ -1,0 +1,79 @@
+"""Observability overhead bounds (the ISSUE's t5-style benchmark).
+
+Three configurations of the same fixed executor run:
+
+* ``bare``     — tracing disabled entirely (the recorder early-out path);
+* ``traced``   — default tracing on, metrics off;
+* ``observed`` — tracing on + metrics registry + live span building.
+
+The contract: observation must be cheap.  Disabled instrumentation costs
+<= 5% over bare, and fully enabled instrumentation costs <= 15% over the
+traced default.  Wall times are min-of-N to shed scheduler noise; the
+bounds carry a small absolute floor so sub-millisecond jitter on short
+runs cannot flake the suite.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.executor import WorkflowExecutor
+from repro.core.policies import StaticPolicy
+from repro.observe import MetricsRegistry, TraceSpanBuilder
+from repro.platform import presets
+from repro.schedulers import REGISTRY
+from repro.schedulers.base import SchedulingContext
+from repro.sim.trace import TraceRecorder
+from repro.workflows.generators import montage
+
+ROUNDS = 5
+SIZE = 150
+#: Absolute slack (seconds) added to each relative bound: timer noise on
+#: a ~100 ms run is a few ms regardless of what the code does.
+FLOOR_S = 0.015
+
+
+def _wall(trace_enabled=True, metrics=False, spans=False) -> float:
+    """Min-of-ROUNDS wall seconds for the fixed workload."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        wf = montage(size=SIZE, seed=13)
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=4)
+        cluster.execution_model.noise_cv = 0.1
+        plan = REGISTRY["heft"]().schedule(
+            SchedulingContext(
+                wf, cluster, rng=np.random.default_rng(13 + 7919)
+            )
+        )
+        trace = TraceRecorder(enabled=trace_enabled)
+        if spans:
+            TraceSpanBuilder().attach(trace)
+        executor = WorkflowExecutor(
+            wf, cluster, StaticPolicy(plan), seed=13, trace=trace,
+            sanitize=False,
+            metrics=MetricsRegistry() if metrics else False,
+        )
+        t0 = time.perf_counter()
+        result = executor.run()
+        elapsed = time.perf_counter() - t0
+        assert result.success
+        best = min(best, elapsed)
+    return best
+
+
+def test_disabled_observation_is_nearly_free():
+    bare = _wall(trace_enabled=False)
+    traced = _wall(trace_enabled=True)
+    assert traced <= bare * 1.05 + FLOOR_S, (
+        f"default tracing costs {traced / bare - 1:.1%} over bare "
+        f"(bare={bare:.4f}s traced={traced:.4f}s); budget is 5%"
+    )
+
+
+def test_enabled_observation_within_budget():
+    traced = _wall(trace_enabled=True)
+    observed = _wall(trace_enabled=True, metrics=True, spans=True)
+    assert observed <= traced * 1.15 + FLOOR_S, (
+        f"metrics+spans cost {observed / traced - 1:.1%} over traced "
+        f"(traced={traced:.4f}s observed={observed:.4f}s); budget is 15%"
+    )

@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Benchmark trajectory report: emit (and check) ``BENCH_<sha>.json``.
+
+Runs the pinned golden grid (5 suites x 8 schedulers, the same cells the
+golden-regression tests pin) through the campaign runner and distills the
+run into a small, schema-versioned set of tracked series:
+
+* ``makespan.geomean.<scheduler>`` — geometric-mean makespan of each
+  scheduler over the five golden suites.  Deterministic: any drift is a
+  behaviour change, not noise.
+* ``sim.events_total``              — simulation events fired across the
+  grid (deterministic).
+* ``sim.events_per_sec``            — events divided by runner wall time
+  (machine-dependent; normalized by the calibration probe when checked).
+* ``runner.wall_s``                 — wall-clock of the grid run
+  (machine-dependent, informational).
+* ``sanitizer.overhead_pct``        — wall-time overhead of running one
+  fixed cell with the simulation sanitizer attached (informational).
+* ``calibration.probe_s``           — wall time of a fixed pure-Python
+  workload; used to normalize machine speed when comparing wall-based
+  series across hosts.
+
+With ``--baseline`` the report is additionally *checked* against a prior
+report: any ``makespan.geomean.*`` series or the calibration-normalized
+``sim.events_per_sec`` regressing by more than ``--tolerance`` (default
+0.10, i.e. 10%) fails the run with exit code 1.  Wall-clock and overhead
+series never gate — they are trajectory data for humans.
+
+Usage::
+
+    python scripts/bench_report.py --out-dir bench_out --jobs 4
+    python scripts/bench_report.py --baseline benchmarks/bench_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA = "repro.bench/v1"
+
+#: Series that gate under --baseline (beyond the makespan.geomean.* set).
+GATED_WALL_SERIES = ("sim.events_per_sec",)
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def calibration_probe() -> float:
+    """Wall seconds for a fixed pure-Python workload (min of 3)."""
+    def once() -> float:
+        t0 = time.perf_counter()
+        acc = 0.0
+        for i in range(400_000):
+            acc += math.sqrt(i + 1.5) * 1.0000001
+        assert acc > 0
+        return time.perf_counter() - t0
+
+    return min(once() for _ in range(3))
+
+
+def sanitizer_overhead_pct() -> float:
+    """Percent wall overhead of the sanitizer on one fixed cell (min of 3)."""
+    from repro.core.api import run_workflow
+    from repro.platform import presets
+    from repro.workflows.generators import montage
+
+    def once(sanitize: bool) -> float:
+        wf = montage(size=120, seed=11)
+        cluster = presets.hybrid_cluster(nodes=2, cores_per_node=4)
+        t0 = time.perf_counter()
+        run_workflow(
+            wf, cluster, scheduler="heft", seed=11,
+            noise_cv=0.1, sanitize=sanitize,
+        )
+        return time.perf_counter() - t0
+
+    base = min(once(False) for _ in range(3))
+    sane = min(once(True) for _ in range(3))
+    return 100.0 * (sane - base) / base if base > 0 else 0.0
+
+
+def run_grid(jobs: int) -> Dict[str, float]:
+    """Run the golden grid; return the tracked series."""
+    from repro.runner.campaign import GOLDEN_SCHEDULERS, golden_jobs
+    from repro.runner.pool import CampaignRunner
+
+    cells = golden_jobs()
+    runner = CampaignRunner(jobs=jobs)
+    t0 = time.perf_counter()
+    records = runner.run_sims(cells)
+    wall = time.perf_counter() - t0
+
+    by_sched: Dict[str, list] = {s: [] for s in GOLDEN_SCHEDULERS}
+    events = 0.0
+    for job, rec in zip(cells, records):
+        sched = job.label.rsplit(":", 1)[-1]
+        by_sched[sched].append(rec.makespan)
+        events += rec.events
+
+    series: Dict[str, float] = {}
+    for sched, spans in sorted(by_sched.items()):
+        series[f"makespan.geomean.{sched}"] = math.exp(
+            sum(math.log(m) for m in spans) / len(spans)
+        )
+    series["sim.events_total"] = events
+    series["sim.events_per_sec"] = events / wall if wall > 0 else 0.0
+    series["runner.wall_s"] = wall
+    return series
+
+
+def build_report(jobs: int) -> Dict[str, object]:
+    series = run_grid(jobs)
+    series["sanitizer.overhead_pct"] = sanitizer_overhead_pct()
+    series["calibration.probe_s"] = calibration_probe()
+    return {
+        "schema": SCHEMA,
+        "git_sha": _git_sha(),
+        "jobs": jobs,
+        "series": {k: series[k] for k in sorted(series)},
+    }
+
+
+def check_against(report: Dict[str, object], baseline: Dict[str, object],
+                  tolerance: float) -> int:
+    """Compare gated series; print verdicts; return the regression count."""
+    cur: Dict[str, float] = report["series"]  # type: ignore[assignment]
+    base: Dict[str, float] = baseline["series"]  # type: ignore[assignment]
+    if baseline.get("schema") != SCHEMA:
+        print(f"FAIL: baseline schema {baseline.get('schema')!r} != {SCHEMA!r}")
+        return 1
+
+    # Wall-based series are machine-dependent: scale the baseline by the
+    # calibration ratio so a slower host doesn't read as a regression.
+    cal_cur = cur.get("calibration.probe_s", 0.0)
+    cal_base = base.get("calibration.probe_s", 0.0)
+    speed = cal_base / cal_cur if cal_cur > 0 and cal_base > 0 else 1.0
+
+    failures = 0
+    for name in sorted(base):
+        if name not in cur:
+            print(f"FAIL: series {name!r} missing from current report")
+            failures += 1
+            continue
+        gated = name.startswith("makespan.geomean.")
+        normalized = name in GATED_WALL_SERIES
+        if not (gated or normalized):
+            continue  # informational series never gate
+        ref = base[name] * (speed if normalized else 1.0)
+        val = cur[name]
+        if gated:
+            # Makespans: worse = larger.
+            regressed = val > ref * (1.0 + tolerance)
+        else:
+            # Throughput: worse = smaller.
+            regressed = val < ref * (1.0 - tolerance)
+        verdict = "FAIL" if regressed else "ok"
+        print(f"{verdict:4s} {name:28s} current={val:12.4f} ref={ref:12.4f}")
+        failures += int(regressed)
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out-dir", default="bench_out",
+                    help="directory for BENCH_<sha>.json (default bench_out)")
+    ap.add_argument("--jobs", type=int, default=max(os.cpu_count() or 1, 1),
+                    help="campaign-runner worker processes")
+    ap.add_argument("--baseline", default=None,
+                    help="prior BENCH_*.json to check the new report against")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("REPRO_BENCH_TOLERANCE", 0.10)),
+                    help="allowed fractional regression (default 0.10)")
+    args = ap.parse_args(argv)
+
+    report = build_report(args.jobs)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{report['git_sha']}.json"
+    out_path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path} ({len(report['series'])} series)")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        failures = check_against(report, baseline, args.tolerance)
+        if failures:
+            print(f"bench check: {failures} regression(s) beyond "
+                  f"{args.tolerance:.0%} tolerance")
+            return 1
+        print("bench check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-2 benchmark-trajectory gate (referenced from ROADMAP.md).
+#
+# Runs scripts/bench_report.py over the pinned golden grid, writes a
+# schema-versioned BENCH_<sha>.json into bench_out/, and checks the
+# tracked series against the committed baseline
+# (benchmarks/bench_baseline.json):
+#
+#   * makespan.geomean.<scheduler> — deterministic; >10% drift fails;
+#   * sim.events_per_sec — calibration-normalized throughput; >10%
+#     regression fails;
+#   * wall-clock / overhead series — informational trajectory only.
+#
+# Tolerance override: REPRO_BENCH_TOLERANCE (fraction, default 0.10).
+#
+# Usage: bash scripts/check_bench.sh   (from the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== benchmark trajectory report vs committed baseline =="
+python scripts/bench_report.py \
+    --out-dir bench_out \
+    --baseline benchmarks/bench_baseline.json
+
+echo "bench gate: OK"

@@ -20,7 +20,11 @@ Subcommands:
 ``exp`` and ``campaign`` accept ``--jobs N`` (process-pool width) and
 ``--cache-dir PATH`` (on-disk memoization of simulation cells; delete the
 directory to invalidate).  ``run``, ``exp`` and ``campaign`` accept
-``--precheck`` to gate every cell on the static model checker first.
+``--precheck`` to gate every cell on the static model checker first, and
+``--metrics-out``/``--trace-out`` to export observability artifacts: a
+metrics snapshot JSON and a Chrome ``trace_event`` timeline (per-run for
+``run``, campaign-level for ``exp``/``campaign``); see
+:mod:`repro.observe`.
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ def cmd_run(args) -> int:
         seed=args.seed, noise_cv=args.noise,
         sanitize=True if args.sanitize else None,
         precheck=True if args.precheck else None,
+        metrics=True if (args.metrics or args.metrics_out) else None,
     )
     print(f"workflow : {wf.name} ({wf.n_tasks} tasks, {wf.n_edges} edges)")
     print(f"cluster  : {cluster.describe()}")
@@ -77,7 +82,42 @@ def cmd_run(args) -> int:
         print()
         print(render_breakdown(cluster, result.execution.trace,
                                result.makespan))
+    if args.metrics and result.metrics is not None:
+        print()
+        print(render_metrics(result.metrics))
+    if args.metrics_out:
+        from repro.observe import write_json
+
+        write_json(args.metrics_out, result.metrics or {})
+        print(f"metrics -> {args.metrics_out}")
+    if args.trace_out:
+        from repro.observe import chrome_trace, spans_from_trace, write_json
+
+        spans = spans_from_trace(result.execution.trace)
+        write_json(args.trace_out, chrome_trace(
+            spans,
+            metadata={
+                "workflow": wf.name, "cluster": cluster.name,
+                "scheduler": args.scheduler, "seed": args.seed,
+            },
+        ))
+        print(f"trace   -> {args.trace_out} "
+              f"(open at https://ui.perfetto.dev or chrome://tracing)")
     return 0 if result.success else 1
+
+
+def render_metrics(snapshot) -> str:
+    """Compact text rendering of a metrics snapshot (counters/gauges)."""
+    lines = ["-- metrics --"]
+    for section in ("counters", "gauges"):
+        for name, value in snapshot.get(section, {}).items():
+            lines.append(f"{name:24s}: {value:.3f}")
+    for name, h in snapshot.get("histograms", {}).items():
+        lines.append(
+            f"{name:24s}: n={h['count']} mean={h['sum'] / h['count']:.3f}"
+            if h["count"] else f"{name:24s}: n=0"
+        )
+    return "\n".join(lines)
 
 
 def cmd_compare(args) -> int:
@@ -123,6 +163,10 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         help="audit every run with the simulation sanitizer")
     parser.add_argument("--precheck", action="store_true",
                         help="statically check every cell before simulating")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write campaign-level metrics JSON here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace_event timeline here")
 
 
 def _sanitize_overrides(args):
@@ -137,14 +181,57 @@ def _sanitize_overrides(args):
     return use_run_overrides(**overrides)  # no-op when empty
 
 
+def _write_campaign_artifacts(args, seconds, simulated, cache_stats) -> None:
+    """Honour --metrics-out/--trace-out for exp/campaign invocations.
+
+    Experiment runs fan cells over worker processes, so there is no
+    single simulation trace; the artifacts here are *campaign-level*: a
+    metrics JSON (per-experiment wall seconds, cells simulated, cache
+    economics) and a wall-clock timeline with one span per experiment.
+    """
+    if getattr(args, "metrics_out", None):
+        from repro.observe import write_json
+
+        write_json(args.metrics_out, {
+            "schema": "repro.campaign-metrics/v1",
+            "experiments": dict(seconds),
+            "total_wall_s": sum(seconds.values()),
+            "cells_simulated": simulated,
+            "cache": cache_stats,
+        })
+        print(f"metrics -> {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        from repro.observe import Span, chrome_trace, write_json
+
+        spans, t = [], 0.0
+        for i, (exp_id, secs) in enumerate(seconds.items()):
+            spans.append(Span(
+                sid=i, name=f"exp {exp_id}", track="campaign",
+                start=t, end=t + secs,
+            ))
+            t += secs
+        write_json(args.trace_out, chrome_trace(
+            spans, process_name="repro-flow campaign",
+        ))
+        print(f"trace   -> {args.trace_out}")
+
+
 def cmd_exp(args) -> int:
     """Run one paper experiment and print its rendering."""
+    from repro.observe import clock
     from repro.runner import use_runner
 
     runner = EXPERIMENTS[args.id]
-    with use_runner(_campaign_runner(args)), _sanitize_overrides(args):
+    campaign_runner = _campaign_runner(args)
+    t0 = clock()
+    with use_runner(campaign_runner), _sanitize_overrides(args):
         result = runner(quick=not args.full, seed=args.seed)
+    wall = clock() - t0
     print(result.render())
+    _write_campaign_artifacts(
+        args, {args.id: wall}, campaign_runner.simulated,
+        campaign_runner.cache.stats.as_dict() if campaign_runner.cache else None,
+    )
     return 0
 
 
@@ -167,6 +254,9 @@ def cmd_campaign(args) -> int:
         print(report.results[exp_id].render())
         print()
     print(report.render_summary())
+    _write_campaign_artifacts(
+        args, report.seconds, report.simulated, report.cache_stats,
+    )
     return 0
 
 
@@ -288,6 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit the run with the simulation sanitizer")
     p_run.add_argument("--precheck", action="store_true",
                        help="statically check the cell before simulating")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="collect run metrics and print a summary")
+    p_run.add_argument("--metrics-out", default=None,
+                       help="write the run's metrics snapshot JSON here")
+    p_run.add_argument("--trace-out", default=None,
+                       help="write a Chrome trace_event timeline here "
+                            "(open in Perfetto / chrome://tracing)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare schedulers")

@@ -35,13 +35,17 @@ draining so partial metrics stay meaningful.
 
 With ``sanitize=True`` (or ``REPRO_SANITIZE=1`` in the environment) a
 :class:`repro.sanitizer.Sanitizer` audits the run live through trace
-hooks and raises on any violated accounting invariant.
+hooks and raises on any violated accounting invariant.  With
+``metrics=True`` (or ``REPRO_METRICS=1``) a
+:class:`repro.observe.MetricsRegistry` observes the run through the same
+hooks; its snapshot lands in ``ExecutionResult.metrics``.  Both are pure
+observers — they never change a simulated outcome.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.data.cache import EvictionError, NodeStore
 from repro.data.catalog import ReplicaCatalog
@@ -141,6 +145,11 @@ class ExecutionResult:
     #: Tasks whose retry budget was exhausted (sorted); non-empty implies
     #: ``success`` is False.
     dead_tasks: List[str] = field(default_factory=list)
+    #: Simulation events fired over the run (deterministic).
+    events: int = 0
+    #: Metrics snapshot (:meth:`repro.observe.MetricsRegistry.snapshot`)
+    #: when the run was instrumented; None otherwise.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def completed_tasks(self) -> int:
@@ -167,6 +176,7 @@ class WorkflowExecutor:
         trace: Optional[TraceRecorder] = None,
         release_times: Optional[Dict[str, float]] = None,
         sanitize: Optional[bool] = None,
+        metrics: Union[None, bool, "object"] = None,
     ) -> None:
         self.workflow = workflow
         self.cluster = cluster
@@ -216,6 +226,26 @@ class WorkflowExecutor:
 
             self.sanitizer = Sanitizer(self)
             self.sanitizer.attach()
+
+        # Metrics: None defers to REPRO_METRICS; True builds a fresh
+        # registry; a MetricsRegistry instance is used as-is (the
+        # orchestrator passes one so planning wall-time lands in the same
+        # snapshot).  Disabled runs carry self.metrics = None, so the hot
+        # path pays a single attribute test.
+        if metrics is None:
+            from repro.observe import env_metrics
+
+            metrics = env_metrics()
+        self.metrics = None
+        self._collector = None
+        if metrics is not False:
+            from repro.observe import MetricsCollector, MetricsRegistry
+
+            self.metrics = (
+                MetricsRegistry() if metrics is True else metrics
+            )
+            self._collector = MetricsCollector(self.metrics)
+            self._collector.attach(self)
 
     # ------------------------------------------------------------------ #
     # public API                                                         #
@@ -271,9 +301,13 @@ class WorkflowExecutor:
             staging_mb=self.cluster.storage_bytes_served_mb,
             evictions=sum(s.evictions for s in self.stores.values()),
             dead_tasks=dead,
+            events=self.sim.events_fired,
         )
         if self.sanitizer is not None:
             self.sanitizer.finalize(result)
+        if self._collector is not None:
+            self._collector.finalize(result)
+            result.metrics = self.metrics.snapshot()
         return result
 
     # ------------------------------------------------------------------ #

@@ -74,6 +74,12 @@ class RunConfig:
             before executing it; blocking findings raise
             :class:`~repro.staticcheck.StaticCheckError`.  ``None`` defers
             to the ``REPRO_PRECHECK`` environment variable.
+        metrics: Attach a :class:`repro.observe.MetricsRegistry` to the
+            run; the snapshot (including scheduler planning wall-time and
+            events/sec in its ``profile`` section) lands in
+            ``result.execution.metrics``.  ``None`` defers to the
+            ``REPRO_METRICS`` environment variable.  Pure observation:
+            never changes a simulated outcome.
     """
 
     scheduler: Union[str, Scheduler] = "hdws"
@@ -90,6 +96,7 @@ class RunConfig:
     max_time: Optional[float] = None
     sanitize: Optional[bool] = None
     precheck: Optional[bool] = None
+    metrics: Optional[bool] = None
     #: Earliest permissible start per task (online arrivals); empty = all 0.
     release_times: Dict[str, float] = field(default_factory=dict)
 
@@ -130,6 +137,11 @@ class RunResult:
     def success(self) -> bool:
         """Whether every task completed."""
         return self.execution.success
+
+    @property
+    def metrics(self) -> Optional[Dict[str, object]]:
+        """Metrics snapshot of an instrumented run (None otherwise)."""
+        return self.execution.metrics
 
     def summary(self) -> Dict[str, float]:
         """The headline numbers of this run as a flat dict."""
@@ -174,7 +186,22 @@ class Orchestrator:
                 fault_model=cfg.fault_model, recovery=cfg.recovery,
             ).raise_if_errors()
 
+        # Build the registry here (not in the executor) so scheduler
+        # planning wall-time profiles into the same snapshot.
+        from repro.observe import clock, env_metrics
+
+        want_metrics = (
+            cfg.metrics if cfg.metrics is not None else env_metrics()
+        )
+        registry = None
+        if want_metrics:
+            from repro.observe import MetricsRegistry
+
+            registry = MetricsRegistry()
+        t_plan = clock()
         policy, plan = self._build_policy(workflow, cluster)
+        if registry is not None:
+            registry.profile("plan.wall_s", clock() - t_plan)
         if precheck and plan is not None:
             from repro.staticcheck import CheckReport, audit_schedule
 
@@ -192,8 +219,20 @@ class Orchestrator:
             failure_horizon=horizon,
             release_times=cfg.release_times,
             sanitize=cfg.sanitize,
+            metrics=registry if registry is not None else False,
         )
+        t_run = clock()
         execution = executor.run(max_time=cfg.max_time)
+        if registry is not None:
+            wall = clock() - t_run
+            registry.profile("run.wall_s", wall)
+            registry.profile(
+                "sim.events_per_sec",
+                execution.events / wall if wall > 0 else 0.0,
+            )
+            # Re-snapshot so the profile entries recorded after the
+            # executor's own snapshot are included.
+            execution.metrics = registry.snapshot()
         energy = account_energy(
             cluster, execution.makespan, execution.trace, cfg.governor
         )

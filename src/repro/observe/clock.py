@@ -1,0 +1,39 @@
+"""The one sanctioned wall-clock source for observability code.
+
+Simulation code must never read the host clock (the determinism lint
+bans it: virtual time comes from the simulator).  Profiling is the one
+legitimate exception — "how long did planning take on this machine" is a
+property of the host, not of the simulated world — so the observability
+layer funnels every wall-clock read through this single shim:
+
+* :func:`clock` returns wall-clock seconds for *profiling only*.  Its
+  values must never influence a simulation decision, a cache key, or any
+  number the determinism gate compares; they live in the ``profile``
+  section of a metrics snapshot and in span wall-stamps, both of which
+  deterministic consumers ignore.
+
+This module is the only file in ``repro.observe`` allowlisted for the
+``wall-clock`` lint check (see ``staticcheck/lint_allowlist.txt``); a
+direct ``time.time()`` anywhere else in the package fails the lint.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def clock() -> float:
+    """Wall-clock seconds since the epoch, for profiling only.
+
+    Uses ``time.time()`` rather than ``perf_counter`` so span wall-stamps
+    from different processes share one timebase (a campaign timeline can
+    interleave worker spans); durations derived from two ``clock()``
+    reads are still accurate to well under a millisecond, which is ample
+    for profiling scheduler calls and whole runs.
+    """
+    return time.time()
+
+
+def elapsed(since: float) -> float:
+    """Seconds elapsed since a previous :func:`clock` reading (>= 0)."""
+    return max(0.0, clock() - since)

@@ -1,0 +1,171 @@
+"""Wires a :class:`MetricsRegistry` into a live executor run.
+
+The collector is a *pure observer*: it subscribes to the executor's
+:class:`~repro.sim.trace.TraceRecorder` (the same hook the sanitizer
+uses), maps each record kind onto counter/histogram updates, and at
+:meth:`finalize` reads the executor's already-computed aggregates
+(device busy time, store evictions, interconnect traffic, injector
+counts, simulator events) into gauges.  It never mutates simulation
+state, so an instrumented run is bit-identical to a bare one.
+
+Metric name catalog (see docs/architecture.md §9 for semantics):
+
+==========================  =========  ====================================
+name                        kind       moved by
+==========================  =========  ====================================
+tasks.dispatched            counter    each clone launch (``task.stage``)
+tasks.completed             counter    ``task.finish``
+tasks.dead                  counter    ``task.dead``
+tasks.retried               counter    finalize (executor retry count)
+tasks.regenerated           counter    ``task.regenerate``
+tasks.preempted             counter    ``task.preempt``
+faults.task                 counter    ``fault.task``
+faults.device               counter    ``fault.device``
+transfers.count             counter    ``transfer.start``
+transfers.mb                counter    ``transfer.start`` size
+staging.mb                  counter    finalize (storage bytes served)
+store.evictions             counter    ``store.evict``
+store.overflows             counter    ``store.overflow``
+store.evicted_mb            counter    finalize (store accounting)
+data.lost                   counter    ``data.lost``
+files.archived              counter    ``archive``
+energy.joules               counter    energy carried on finish/fault/preempt
+sim.events                  counter    finalize (events fired)
+devices.alive               gauge      finalize
+devices.failed              gauge      finalize
+run.makespan                gauge      finalize
+sim.final_time              gauge      finalize
+task.duration_s             histogram  ``task.finish`` duration
+transfer.size_mb            histogram  ``transfer.start`` size
+transfer.queue_depth        histogram  in-flight transfers at each start
+device.busy_s               histogram  finalize, one sample per device
+device.utilization          histogram  finalize, one sample per device
+==========================  =========  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.observe.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecord
+
+#: Bucket ladder for utilization-like [0, 1] histograms.
+UTIL_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+#: Bucket ladder for small integer depths (queue depth, attempts).
+DEPTH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class MetricsCollector:
+    """Streams one executor run's trace records into a registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._executor = None
+
+    # ----------------------------------------------------------------- #
+    # lifecycle                                                         #
+    # ----------------------------------------------------------------- #
+
+    def attach(self, executor) -> None:
+        """Subscribe to the executor's trace recorder."""
+        self._executor = executor
+        executor.trace.subscribe(self.on_record)
+
+    def detach(self) -> None:
+        """Unsubscribe (idempotent)."""
+        if self._executor is not None:
+            self._executor.trace.unsubscribe(self.on_record)
+
+    # ----------------------------------------------------------------- #
+    # live record mapping                                               #
+    # ----------------------------------------------------------------- #
+
+    def on_record(self, rec: TraceRecord) -> None:
+        """Map one trace record onto metric updates (read-only)."""
+        m = self.registry
+        kind = rec.kind
+        if kind == "task.stage":
+            m.inc("tasks.dispatched")
+        elif kind == "task.finish":
+            m.inc("tasks.completed")
+            duration = rec.get("duration")
+            if duration is not None:
+                m.observe("task.duration_s", duration)
+            self._energy(rec)
+        elif kind == "task.dead":
+            m.inc("tasks.dead")
+        elif kind == "task.regenerate":
+            m.inc("tasks.regenerated")
+        elif kind == "task.preempt":
+            m.inc("tasks.preempted")
+            self._energy(rec)
+        elif kind == "fault.task":
+            m.inc("faults.task")
+            self._energy(rec)
+        elif kind == "fault.device":
+            m.inc("faults.device")
+        elif kind == "transfer.start":
+            m.inc("transfers.count")
+            size = rec.get("size_mb")
+            if size is not None:
+                m.inc("transfers.mb", size)
+                m.observe("transfer.size_mb", size)
+            if self._executor is not None:
+                m.observe(
+                    "transfer.queue_depth",
+                    float(len(self._executor._inflight)),
+                    buckets=DEPTH_BUCKETS,
+                )
+        elif kind == "store.evict":
+            m.inc("store.evictions")
+        elif kind == "store.overflow":
+            m.inc("store.overflows")
+        elif kind == "data.lost":
+            m.inc("data.lost")
+        elif kind == "archive":
+            m.inc("files.archived")
+
+    def _energy(self, rec: TraceRecord) -> None:
+        joules = rec.get("energy_j")
+        if joules:
+            self.registry.inc("energy.joules", joules)
+
+    # ----------------------------------------------------------------- #
+    # end-of-run aggregates                                             #
+    # ----------------------------------------------------------------- #
+
+    def finalize(self, result: Optional[object] = None) -> None:
+        """Fold the executor's end-of-run aggregates into the registry."""
+        executor = self._executor
+        if executor is None:
+            return
+        m = self.registry
+        m.counter("tasks.retried").value = float(executor._retries)
+        m.counter("staging.mb").value = float(
+            executor.cluster.storage_bytes_served_mb
+        )
+        m.counter("store.evicted_mb").value = float(
+            sum(s.bytes_evicted_mb for s in executor.stores.values())
+        )
+        m.counter("sim.events").value = float(executor.sim.events_fired)
+        m.set_gauge("sim.final_time", executor.sim.now)
+
+        makespan = getattr(result, "makespan", executor.sim.now)
+        m.set_gauge("run.makespan", makespan)
+        alive = failed = 0
+        for device in executor.cluster.devices:
+            if device.failed:
+                failed += 1
+            else:
+                alive += 1
+            m.observe("device.busy_s", device.busy_time())
+            m.observe(
+                "device.utilization",
+                device.utilization(makespan),
+                buckets=UTIL_BUCKETS,
+            )
+        m.set_gauge("devices.alive", float(alive))
+        m.set_gauge("devices.failed", float(failed))
+        self.detach()

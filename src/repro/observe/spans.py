@@ -1,0 +1,260 @@
+"""Span-based structured tracing.
+
+A :class:`Span` is a named interval with a *track* (the timeline lane it
+renders on — a device uid, a network link, or a logical lane like
+``run``), an optional parent (spans nest), exact virtual-time stamps,
+and optional wall-clock stamps (profiling only, via the sanctioned
+:func:`repro.observe.clock.clock` shim).
+
+Two ways to get spans:
+
+* :class:`SpanTracer` — explicit code-level spans with automatic
+  parent/child nesting via a context-manager stack::
+
+      tracer = SpanTracer(time_fn=lambda: executor.now)
+      with tracer.span("plan", scheduler="heft"):
+          ...
+      spans = tracer.spans
+
+* :class:`TraceSpanBuilder` / :func:`spans_from_trace` — derive spans
+  from :class:`~repro.sim.trace.TraceRecorder` records, either post-hoc
+  from a finished trace or live through the recorder's subscriber hook.
+  Each task clone becomes a ``task`` parent span on its device track
+  with nested ``stage_in`` and ``exec`` children; transfers become
+  spans on per-link network tracks; point events (faults, evictions,
+  archives) become zero-length spans.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.observe.clock import clock
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+@dataclass
+class Span:
+    """One named interval on a timeline track."""
+
+    sid: int
+    name: str
+    track: str
+    start: float
+    end: Optional[float] = None
+    parent: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock stamps (profiling only; None for trace-derived spans).
+    wall_start: Optional[float] = None
+    wall_end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds covered (0 while open or for point spans)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been closed yet."""
+        return self.end is None
+
+
+class SpanTracer:
+    """Explicit spans with stack-based parent/child nesting.
+
+    ``time_fn`` supplies the virtual-time stamps (pass
+    ``lambda: executor.now`` inside a simulation, or
+    :func:`~repro.observe.clock.clock` for host-level timelines).  Wall
+    stamps are always taken from the sanctioned clock shim unless
+    ``wall=False``.
+    """
+
+    def __init__(self, time_fn=None, wall: bool = True) -> None:
+        self._time_fn = time_fn or (lambda: 0.0)
+        self._wall = wall
+        self._next_sid = 0
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []
+
+    def begin(self, name: str, track: str = "main", **attrs: Any) -> Span:
+        """Open a span as a child of the innermost open span."""
+        span = Span(
+            sid=self._next_sid,
+            name=name,
+            track=track,
+            start=self._time_fn(),
+            parent=self._stack[-1].sid if self._stack else None,
+            attrs=dict(attrs),
+            wall_start=clock() if self._wall else None,
+        )
+        self._next_sid += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span] = None) -> Span:
+        """Close the given span (default: the innermost open one)."""
+        if not self._stack:
+            raise RuntimeError("no open span to end")
+        top = self._stack.pop()
+        if span is not None and span.sid != top.sid:
+            raise RuntimeError(
+                f"span nesting violated: closing {span.name!r} but "
+                f"{top.name!r} is innermost"
+            )
+        top.end = self._time_fn()
+        if self._wall:
+            top.wall_end = clock()
+        return top
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", **attrs: Any) -> Iterator[Span]:
+        """Context manager opening/closing one properly nested span."""
+        opened = self.begin(name, track=track, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+
+class TraceSpanBuilder:
+    """Incrementally converts trace records into spans.
+
+    Feed records in emission order (post-hoc iteration and the live
+    subscriber hook both preserve it).  The builder is a pure observer:
+    it reads records and never touches simulation state.
+    """
+
+    #: Point-event kinds rendered as zero-length spans: kind -> track key.
+    POINT_TRACKS = {
+        "task.dead": "run",
+        "task.regenerate": "run",
+        "fault.device": None,  # device track from the record
+        "store.evict": None,  # node track
+        "store.overflow": None,
+        "data.lost": None,
+        "archive": "storage",
+    }
+
+    def __init__(self) -> None:
+        self._next_sid = 0
+        self.spans: List[Span] = []
+        #: Open (parent, stage_in/exec child) per (task, device) clone.
+        self._open: Dict[Tuple[str, str], Tuple[Span, Span]] = {}
+        self._last_time = 0.0
+
+    def attach(self, trace: TraceRecorder) -> None:
+        """Subscribe to a recorder so spans build live as records emit."""
+        trace.subscribe(self.feed)
+
+    def _new(
+        self,
+        name: str,
+        track: str,
+        start: float,
+        end: Optional[float] = None,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        span = Span(
+            sid=self._next_sid, name=name, track=track, start=start,
+            end=end, parent=parent, attrs=attrs,
+        )
+        self._next_sid += 1
+        self.spans.append(span)
+        return span
+
+    def feed(self, rec: TraceRecord) -> None:
+        """Consume one trace record."""
+        self._last_time = max(self._last_time, rec.time)
+        kind = rec.kind
+        if kind == "task.stage":
+            key = (rec.get("task"), rec.get("device"))
+            if key in self._open:  # previous clone never closed (preempted
+                self._close_clone(key, rec.time, outcome="abandoned")
+            parent = self._new(
+                f"task {key[0]}", key[1], rec.time, task=key[0]
+            )
+            child = self._new(
+                "stage_in", key[1], rec.time,
+                parent=parent.sid, until=rec.get("until"),
+            )
+            self._open[key] = (parent, child)
+        elif kind == "task.start":
+            key = (rec.get("task"), rec.get("device"))
+            entry = self._open.get(key)
+            if entry is None:
+                return  # start without stage: foreign trace, skip
+            parent, child = entry
+            if child.name == "stage_in" and child.open:
+                child.end = rec.time
+            execspan = self._new(
+                "exec", key[1], rec.time, parent=parent.sid,
+                attempt=rec.get("attempt"), planned=rec.get("duration"),
+            )
+            self._open[key] = (parent, execspan)
+        elif kind in ("task.finish", "fault.task", "task.preempt"):
+            key = (rec.get("task"), rec.get("device"))
+            if rec.get("device") is None or key not in self._open:
+                return
+            outcome = {
+                "task.finish": "done",
+                "fault.task": "fault",
+                "task.preempt": "preempted",
+            }[kind]
+            self._close_clone(
+                key, rec.time, outcome=outcome,
+                energy_j=rec.get("energy_j"),
+            )
+        elif kind == "transfer.start":
+            self._new(
+                f"xfer {rec.get('file')}",
+                f"net {rec.get('src')}->{rec.get('dst')}",
+                rec.time,
+                end=rec.get("arrives"),
+                size_mb=rec.get("size_mb"),
+            )
+        elif kind in self.POINT_TRACKS:
+            track = self.POINT_TRACKS[kind]
+            if track is None:
+                track = rec.get("device") or rec.get("node") or "run"
+            self._new(kind, track, rec.time, end=rec.time, **rec.data)
+
+    def _close_clone(self, key, time: float, **attrs: Any) -> None:
+        parent, child = self._open.pop(key)
+        if child.open:
+            child.end = time
+            child.attrs.update(attrs)
+        parent.end = time
+        parent.attrs.update(attrs)
+
+    def finish(self, at: Optional[float] = None) -> List[Span]:
+        """Close any dangling clone spans and return all spans.
+
+        Clones cancelled mid-staging (a sibling finished first) never get
+        a closing record; they are closed at ``at`` (default: the latest
+        record time seen) and flagged ``unclosed``.
+        """
+        cutoff = self._last_time if at is None else at
+        for key in sorted(self._open):
+            self._close_clone(key, cutoff, outcome="unclosed")
+        return self.spans
+
+
+def spans_from_trace(
+    trace: TraceRecorder, at: Optional[float] = None
+) -> List[Span]:
+    """Convert a finished trace into spans (see :class:`TraceSpanBuilder`)."""
+    builder = TraceSpanBuilder()
+    for rec in trace:
+        builder.feed(rec)
+    return builder.finish(at=at)

@@ -26,6 +26,9 @@ class SimRecord:
     preemptions: float
     task_faults: float
     device_faults: float
+    #: Simulation events fired (deterministic; 0.0 in records cached
+    #: before the field existed).
+    events: float = 0.0
 
     @property
     def data_moved_mb(self) -> float:
@@ -47,6 +50,7 @@ class SimRecord:
             preemptions=float(ex.preemptions),
             task_faults=float(ex.task_faults),
             device_faults=float(ex.device_faults),
+            events=float(ex.events),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -55,8 +59,15 @@ class SimRecord:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SimRecord":
-        """Rebuild from :meth:`to_dict` output."""
-        return cls(**{k: payload[k] for k in cls.__dataclass_fields__})
+        """Rebuild from :meth:`to_dict` output.
+
+        Tolerates cache entries written before a field existed (fields
+        with defaults fall back to them), so growing the record never
+        invalidates existing on-disk caches.
+        """
+        return cls(**{
+            k: payload[k] for k in cls.__dataclass_fields__ if k in payload
+        })
 
 
 @dataclass(frozen=True)

@@ -440,7 +440,13 @@ def audit_result(result, cluster=None) -> List[Violation]:
                 )
 
     trace = result.trace
-    if trace is not None and trace.enabled:
+    # Record-count audits need the *full* trace: a kind-filtered recorder
+    # legitimately stores fewer records than the run emitted.
+    if (
+        trace is not None
+        and trace.enabled
+        and getattr(trace, "kinds_filter", None) is None
+    ):
         finishes: Dict[str, int] = {}
         for r in trace.of_kind("task.finish"):
             finishes[r.get("task")] = finishes.get(r.get("task"), 0) + 1

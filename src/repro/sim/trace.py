@@ -11,7 +11,7 @@ to know what will be analyzed later.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -43,28 +43,65 @@ class TraceRecorder:
     :meth:`subscribe` a callback that observes every record as it is
     emitted.  Subscribers fire even when storage is disabled, so auditing
     does not force traces to be retained in memory.
+
+    ``kinds`` optionally restricts *storage* to an allowlist of record
+    kinds (subscribers still see everything): a sweep that only needs
+    ``task.finish`` events pays nothing for transfer/eviction chatter.
+    Post-hoc audits that count records (the sanitizer) are skipped for
+    filtered traces — consult :attr:`kinds_filter`.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
+    def __init__(
+        self, enabled: bool = True, kinds: Optional[Iterable[str]] = None
+    ) -> None:
+        self._enabled = enabled
+        self._kinds: Optional[frozenset] = (
+            frozenset(kinds) if kinds is not None else None
+        )
         self._records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        # One precomputed boolean keeps the disabled record() path to a
+        # single attribute test — the executor calls record() per event.
+        self._active = bool(self._enabled or self._subscribers)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are being stored."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self._refresh_active()
+
+    @property
+    def kinds_filter(self) -> Optional[frozenset]:
+        """The storage allowlist of kinds, or None when unfiltered."""
+        return self._kinds
 
     def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Register a callback invoked synchronously on every record."""
         self._subscribers.append(callback)
+        self._refresh_active()
 
     def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
         """Remove a previously subscribed callback (no-op if absent)."""
         if callback in self._subscribers:
             self._subscribers.remove(callback)
+        self._refresh_active()
 
     def record(self, time: float, kind: str, **data: Any) -> None:
         """Append one record (no-op when disabled and nobody listens)."""
-        if not self.enabled and not self._subscribers:
-            return
+        if not self._active:
+            return  # early-out: no allocation on the disabled hot path
+        store = self._enabled and (self._kinds is None or kind in self._kinds)
+        if not store and not self._subscribers:
+            return  # filtered out and nobody listens
         rec = TraceRecord(time, kind, data)
-        if self.enabled:
+        if store:
             self._records.append(rec)
         for callback in self._subscribers:
             callback(rec)

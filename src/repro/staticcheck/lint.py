@@ -6,9 +6,12 @@ nondeterminism.  This pass bans the constructs that have historically
 broken that contract in workflow systems:
 
 * ``wall-clock`` — ``time.time()`` / ``time.time_ns()`` /
-  ``datetime.now()`` / ``utcnow()`` / ``today()``: virtual time must come
-  from the simulator, never the host clock.  (``time.perf_counter`` is
-  allowed: measuring *our own* overhead is not simulation state.)
+  ``time.monotonic()`` / ``datetime.now()`` / ``utcnow()`` / ``today()``:
+  virtual time must come from the simulator, never the host clock.
+  (``time.perf_counter`` is allowed: measuring *our own* overhead is not
+  simulation state.  Observability code wanting a wall stamp must go
+  through the one sanctioned, allowlisted shim
+  :func:`repro.observe.clock.clock` — profiling only.)
 * ``global-random`` — module-level ``random.*`` and ``np.random.*`` draw
   calls: all randomness must flow through a threaded
   :class:`numpy.random.Generator` (see :mod:`repro.sim.rng`), or two runs
@@ -46,10 +49,15 @@ from repro.staticcheck.findings import Finding, Severity
 #: Layer tag for every finding this module emits.
 LAYER = "lint"
 
-#: Dotted call paths that read the host clock.
+#: Dotted call paths that read the host clock.  ``time.perf_counter`` is
+#: deliberately absent (measuring our own overhead is not simulation
+#: state); the one sanctioned *wall* clock is ``repro.observe.clock``,
+#: whose module carries the single allowlist entry.
 WALL_CLOCK_CALLS = {
     "time.time",
     "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",

@@ -1,0 +1,221 @@
+"""Span tracing: nesting discipline, trace-derived spans, live parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import run_workflow
+from repro.observe import Span, SpanTracer, TraceSpanBuilder, spans_from_trace
+from repro.platform import presets
+from repro.sim.trace import TraceRecorder
+from repro.workflows.generators import cybershake, montage
+
+
+class TestSpanTracer:
+    def test_parent_child_nesting(self):
+        t = [0.0]
+        tracer = SpanTracer(time_fn=lambda: t[0], wall=False)
+        outer = tracer.begin("outer")
+        t[0] = 1.0
+        inner = tracer.begin("inner")
+        t[0] = 2.0
+        tracer.end(inner)
+        t[0] = 3.0
+        tracer.end(outer)
+        assert inner.parent == outer.sid
+        assert outer.parent is None
+        assert (outer.start, outer.end) == (0.0, 3.0)
+        assert (inner.start, inner.end) == (1.0, 2.0)
+        assert tracer.depth == 0
+
+    def test_context_manager_closes_on_exception(self):
+        tracer = SpanTracer(wall=False)
+        with pytest.raises(RuntimeError):
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    raise RuntimeError("boom")
+        assert tracer.depth == 0
+        assert all(not s.open for s in tracer.spans)
+
+    def test_out_of_order_close_raises(self):
+        tracer = SpanTracer(wall=False)
+        a = tracer.begin("a")
+        tracer.begin("b")
+        with pytest.raises(RuntimeError, match="nesting violated"):
+            tracer.end(a)
+
+    def test_end_without_open_raises(self):
+        with pytest.raises(RuntimeError, match="no open span"):
+            SpanTracer(wall=False).end()
+
+    def test_wall_stamps(self):
+        tracer = SpanTracer(wall=True)
+        with tracer.span("a"):
+            pass
+        span = tracer.spans[0]
+        assert span.wall_start is not None
+        assert span.wall_end >= span.wall_start
+        bare = SpanTracer(wall=False)
+        with bare.span("a"):
+            pass
+        assert bare.spans[0].wall_start is None
+
+    def test_random_nesting_invariants(self):
+        # Property test: any push/pop sequence yields well-formed spans —
+        # children open after and close before their parent, sids order
+        # by open time, depth returns to zero.
+        rng = np.random.default_rng(42)
+        clock = [0.0]
+        tracer = SpanTracer(time_fn=lambda: clock[0], wall=False)
+        for _ in range(400):
+            clock[0] += float(rng.uniform(0.0, 1.0))
+            if tracer.depth and rng.random() < 0.5:
+                tracer.end()
+            else:
+                tracer.begin(f"s{clock[0]:.3f}")
+        while tracer.depth:
+            clock[0] += 1.0
+            tracer.end()
+
+        by_sid = {s.sid: s for s in tracer.spans}
+        assert sorted(by_sid) == list(range(len(tracer.spans)))
+        for span in tracer.spans:
+            assert not span.open
+            assert span.end >= span.start
+            if span.parent is not None:
+                parent = by_sid[span.parent]
+                assert parent.sid < span.sid
+                assert parent.start <= span.start
+                assert parent.end >= span.end
+
+
+def _feed_all(records):
+    builder = TraceSpanBuilder()
+    for time, kind, data in records:
+        from repro.sim.trace import TraceRecord
+
+        builder.feed(TraceRecord(time, kind, data))
+    return builder
+
+
+class TestTraceSpanBuilder:
+    def test_stage_start_finish_lifecycle(self):
+        builder = _feed_all([
+            (0.0, "task.stage", {"task": "t1", "device": "d0", "until": 1.0}),
+            (1.0, "task.start", {"task": "t1", "device": "d0",
+                                 "attempt": 1, "duration": 2.0}),
+            (3.0, "task.finish", {"task": "t1", "device": "d0",
+                                  "duration": 2.0, "energy_j": 4.0}),
+        ])
+        spans = builder.finish()
+        parent = next(s for s in spans if s.name == "task t1")
+        stage = next(s for s in spans if s.name == "stage_in")
+        execspan = next(s for s in spans if s.name == "exec")
+        assert (parent.start, parent.end) == (0.0, 3.0)
+        assert (stage.start, stage.end) == (0.0, 1.0)
+        assert (execspan.start, execspan.end) == (1.0, 3.0)
+        assert stage.parent == parent.sid == execspan.parent
+        assert parent.attrs["outcome"] == "done"
+        assert parent.attrs["energy_j"] == 4.0
+        assert parent.track == stage.track == execspan.track == "d0"
+
+    @pytest.mark.parametrize("kind,outcome", [
+        ("fault.task", "fault"), ("task.preempt", "preempted"),
+    ])
+    def test_non_finish_outcomes(self, kind, outcome):
+        builder = _feed_all([
+            (0.0, "task.stage", {"task": "t", "device": "d"}),
+            (0.5, "task.start", {"task": "t", "device": "d"}),
+            (1.0, kind, {"task": "t", "device": "d"}),
+        ])
+        parent = next(s for s in builder.finish() if s.name == "task t")
+        assert parent.attrs["outcome"] == outcome
+
+    def test_restage_abandons_open_clone(self):
+        builder = _feed_all([
+            (0.0, "task.stage", {"task": "t", "device": "d"}),
+            (2.0, "task.stage", {"task": "t", "device": "d"}),
+            (2.5, "task.start", {"task": "t", "device": "d"}),
+            (3.0, "task.finish", {"task": "t", "device": "d"}),
+        ])
+        spans = builder.finish()
+        parents = [s for s in spans if s.name == "task t"]
+        assert len(parents) == 2
+        assert parents[0].attrs["outcome"] == "abandoned"
+        assert parents[0].end == 2.0
+        assert parents[1].attrs["outcome"] == "done"
+
+    def test_transfer_and_point_spans(self):
+        builder = _feed_all([
+            (0.0, "transfer.start", {"file": "f.dat", "src": "n0",
+                                     "dst": "n1", "arrives": 1.5,
+                                     "size_mb": 8.0}),
+            (2.0, "store.evict", {"node": "n1", "file": "f.dat"}),
+        ])
+        spans = builder.finish()
+        xfer = next(s for s in spans if s.name == "xfer f.dat")
+        assert xfer.track == "net n0->n1"
+        assert (xfer.start, xfer.end) == (0.0, 1.5)
+        assert xfer.attrs["size_mb"] == 8.0
+        evict = next(s for s in spans if s.name == "store.evict")
+        assert evict.duration == 0.0
+        assert evict.track == "n1"
+
+    def test_dangling_clone_closed_as_unclosed(self):
+        builder = _feed_all([
+            (0.0, "task.stage", {"task": "t", "device": "d"}),
+            (4.0, "archive", {"file": "f"}),
+        ])
+        spans = builder.finish()
+        parent = next(s for s in spans if s.name == "task t")
+        assert parent.end == 4.0
+        assert parent.attrs["outcome"] == "unclosed"
+
+    def test_start_without_stage_ignored(self):
+        builder = _feed_all([
+            (0.0, "task.start", {"task": "t", "device": "d"}),
+        ])
+        assert builder.finish() == []
+
+
+class TestRealRunSpans:
+    def _trace(self, gen=montage, **kw):
+        return run_workflow(
+            gen(size=25, seed=5), presets.hybrid_cluster(),
+            scheduler="heft", seed=5, noise_cv=0.1, **kw,
+        ).execution.trace
+
+    def test_spans_well_formed(self):
+        trace = self._trace()
+        spans = spans_from_trace(trace)
+        assert spans
+        by_sid = {s.sid: s for s in spans}
+        for span in spans:
+            assert not span.open
+            assert span.end >= span.start
+            if span.parent is not None:
+                parent = by_sid[span.parent]
+                assert parent.start <= span.start
+                assert parent.end >= span.end
+        # Every completed task produced a top-level span marked done.
+        done = [
+            s for s in spans
+            if s.parent is None and s.attrs.get("outcome") == "done"
+        ]
+        assert len(done) == len(trace.of_kind("task.finish"))
+
+    def test_live_subscriber_equals_posthoc(self):
+        trace = self._trace(gen=cybershake)
+        live = TraceSpanBuilder()
+        recorder = TraceRecorder()
+        live.attach(recorder)
+        for rec in trace:
+            recorder.record(rec.time, rec.kind, **rec.data)
+        assert live.finish() == spans_from_trace(trace)
+
+
+class TestSpanDataclass:
+    def test_duration_and_open(self):
+        s = Span(sid=0, name="a", track="t", start=1.0)
+        assert s.open and s.duration == 0.0
+        s.end = 3.5
+        assert not s.open and s.duration == 2.5

@@ -70,3 +70,51 @@ class TestTraceRecorder:
         copy = tr.records
         copy.clear()
         assert len(tr) == 1
+
+
+class TestKindsAllowlist:
+    def test_only_allowed_kinds_stored(self):
+        tr = TraceRecorder(kinds=["task.finish"])
+        tr.record(1.0, "task.finish", task="t")
+        tr.record(2.0, "transfer.start", file="f")
+        assert [r.kind for r in tr] == ["task.finish"]
+        assert tr.kinds_filter == frozenset({"task.finish"})
+
+    def test_unfiltered_recorder_reports_no_filter(self):
+        assert TraceRecorder().kinds_filter is None
+
+    def test_subscribers_see_filtered_kinds(self):
+        seen = []
+        tr = TraceRecorder(kinds=["task.finish"])
+        tr.subscribe(lambda rec: seen.append(rec.kind))
+        tr.record(1.0, "task.finish")
+        tr.record(2.0, "transfer.start")
+        assert seen == ["task.finish", "transfer.start"]
+        assert len(tr) == 1
+
+
+class TestDisabledHotPath:
+    def test_disabled_and_unsubscribed_is_inert(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "a", heavy="payload")
+        assert len(tr) == 0
+
+    def test_subscriber_revives_disabled_recorder(self):
+        seen = []
+        tr = TraceRecorder(enabled=False)
+        tr.subscribe(seen.append)
+        tr.record(1.0, "a")
+        assert len(seen) == 1 and len(tr) == 0
+        tr.unsubscribe(seen.append)
+        tr.record(2.0, "b")
+        assert len(seen) == 1
+
+    def test_enabled_setter_toggles_storage(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "a")
+        tr.enabled = True
+        tr.record(2.0, "b")
+        assert [r.kind for r in tr] == ["b"]
+        tr.enabled = False
+        tr.record(3.0, "c")
+        assert [r.kind for r in tr] == ["b"]
