@@ -54,6 +54,10 @@ class AdaptivePolicy(ExecutionPolicy):
         self._dvfs: Dict[str, str] = {}
         self._oct: Optional[Dict[str, Dict[str, float]]] = None
         self._ranks: Dict[str, float] = {}
+        self._topo_index: Dict[str, int] = {}
+        #: Class-pressure cache; invalidated on device failure (the only
+        #: event that changes the alive set it is computed from).
+        self._pressure: Optional[Dict] = None
 
     # ------------------------------------------------------------------ #
     # policy interface                                                   #
@@ -73,6 +77,10 @@ class AdaptivePolicy(ExecutionPolicy):
         self._plan = self.planner.schedule(self._context)
         self._dvfs = dict(self._plan.dvfs_choice)
         self._ranks = self._context.upward_ranks(use_best=True)
+        self._topo_index = {
+            n: i
+            for i, n in enumerate(executor.workflow.topological_order())
+        }
         self._rebuild_queues(self._plan)
 
     def select(self, executor) -> List[Decision]:
@@ -220,6 +228,7 @@ class AdaptivePolicy(ExecutionPolicy):
     def on_device_failure(self, executor, device: Device) -> None:
         """A dead device always forces a re-plan."""
         self._queues.pop(device.uid, None)
+        self._pressure = None  # alive set changed; recompute on next use
         if self.replans < self.max_replans:
             self._replan(executor)
 
@@ -283,14 +292,21 @@ class AdaptivePolicy(ExecutionPolicy):
             if now > cursor + 1e-12:
                 tl.add(cursor, now, "<blocked>")
 
-        ranks = ctx.upward_ranks(use_best=True)
-        topo_index = {n: i for i, n in enumerate(wf.topological_order())}
+        # Ranks and topological indices only depend on the (immutable)
+        # context, so every re-plan reuses the ones computed in prepare()
+        # instead of re-ranking the whole DAG from scratch; the class
+        # pressure is likewise reused until a device failure changes the
+        # alive set it is derived from.
+        ranks = self._ranks
+        topo_index = self._topo_index
         unstarted.sort(key=lambda n: (-ranks[n], topo_index[n]))
 
         hdws = self.planner if isinstance(self.planner, HdwsScheduler) else HdwsScheduler()
-        contended = (
-            hdws._class_pressure(ctx) if hdws.use_scarcity else {}
-        )
+        if self._pressure is None:
+            self._pressure = (
+                hdws._class_pressure(ctx) if hdws.use_scarcity else {}
+            )
+        contended = self._pressure
         if self._oct is None and hdws.use_lookahead:
             self._oct = hdws.lookahead_table(ctx)
         replica_node: Dict[str, Optional[str]] = {}

@@ -89,7 +89,7 @@ class TaskRecord:
     """
 
     name: str
-    state: str = PENDING
+    _state: str = PENDING
     attempts: int = 0
     device: Optional[str] = None
     start: Optional[float] = None
@@ -106,12 +106,22 @@ class TaskRecord:
     # installs a per-instance callback to observe state transitions.
     _observer = None
 
-    def __setattr__(self, name: str, value) -> None:
-        if name == "state":
-            observer = self._observer
-            if observer is not None:
-                observer(self, getattr(self, "state", None), value)
-        object.__setattr__(self, name, value)
+    @property
+    def state(self) -> str:
+        """Lifecycle state; assignments notify the sanitizer's observer.
+
+        A property rather than a ``__setattr__`` hook so that writes to
+        every *other* field skip the interception cost — records are
+        updated on each clone transition, which made the hook hot.
+        """
+        return self._state
+
+    @state.setter
+    def state(self, value: str) -> None:
+        observer = self._observer
+        if observer is not None:
+            observer(self, self._state, value)
+        self._state = value
 
 
 @dataclass
@@ -460,15 +470,17 @@ class WorkflowExecutor:
 
         arrival = self.now
         task = self.workflow.tasks[name]
+        files = self.workflow.files
+        store = self.stores[node]
         for fname in task.inputs:
-            f = self.workflow.files[fname]
+            f = files[fname]
             decision = choose_source(
                 self.catalog, self.cluster, fname, f.size_mb, node
             )
             if decision.is_local:
-                self.stores[node].touch(fname)
-                if self.stores[node].has(fname):
-                    self.stores[node].pin(fname)
+                store.touch(fname)
+                if store.has(fname):
+                    store.pin(fname)
                     clone.pins.append(fname)
                 continue
             # Remote replica: the file only becomes local when the transfer

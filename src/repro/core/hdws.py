@@ -196,12 +196,13 @@ class HdwsScheduler(Scheduler):
         replica_node: Dict[str, Optional[str]],
         oct_table: Optional[Dict[str, Dict[str, float]]] = None,
     ) -> List[Tuple]:
+        from repro.schedulers.base import eft_scan
+
         out: List[Tuple] = []
-        for device in context.eligible_devices(name):
-            start, finish = self._eft(context, schedule, name, device)
-            oct_term = (
-                oct_table[name][device.uid] if oct_table is not None else 0.0
-            )
+        oct_row = oct_table[name] if oct_table is not None else None
+        devices, starts, finishes = eft_scan(context, schedule, name)
+        for device, start, finish in zip(devices, starts, finishes):
+            oct_term = oct_row[device.uid] if oct_row is not None else 0.0
             remote_mb = self._remote_bytes(
                 context, name, device, replica_node
             )

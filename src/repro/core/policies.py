@@ -57,6 +57,8 @@ class StaticPolicy(ExecutionPolicy):
         self.repair = repair
         self._queues: Dict[str, List[str]] = {}
         self._dvfs = dict(schedule.dvfs_choice)
+        self._uids: List[str] = []
+        self._queued: set = set()
 
     def prepare(self, executor) -> None:
         """Build per-device FIFO queues from the planned timelines."""
@@ -64,12 +66,17 @@ class StaticPolicy(ExecutionPolicy):
             uid: self.schedule.tasks_on(uid)
             for uid in self.schedule.timelines
         }
+        # Select runs on every state change; the device order and the
+        # queued-task membership are maintained incrementally instead of
+        # being rebuilt per call.
+        self._uids = sorted(self._queues)
+        self._queued = {t for q in self._queues.values() for t in q}
 
     def select(self, executor) -> List[Decision]:
         """Dispatch every device whose queue head is ready."""
         self._requeue_orphans(executor)
         decisions: List[Decision] = []
-        for uid in sorted(self._queues):
+        for uid in self._uids:
             queue = self._queues[uid]
             if not queue:
                 continue
@@ -93,9 +100,10 @@ class StaticPolicy(ExecutionPolicy):
         the head of its planned device's queue — its planned start lies in
         the past and a consumer is already waiting on it.
         """
-        queued = {t for q in self._queues.values() for t in q}
+        if executor.ready <= self._queued:
+            return
         for name in executor.ready_tasks():
-            if name in queued:
+            if name in self._queued:
                 continue
             planned = self.schedule.assignments.get(name)
             uid = planned.device if planned is not None else None
@@ -114,11 +122,16 @@ class StaticPolicy(ExecutionPolicy):
                 if not candidates:
                     continue
                 target = min(candidates, key=lambda d: d.uid)
-                queue = self._queues.setdefault(target.uid, [])
+                if target.uid not in self._queues:
+                    self._queues[target.uid] = []
+                    self._uids = sorted(self._queues)
+                queue = self._queues[target.uid]
             queue.insert(0, name)
+            self._queued.add(name)
 
     def on_task_done(self, executor, task_name: str, device: Device) -> None:
         """Pop the completed task from its queue."""
+        self._queued.discard(task_name)
         queue = self._queues.get(device.uid)
         if queue and queue[0] == task_name:
             queue.pop(0)
@@ -131,6 +144,8 @@ class StaticPolicy(ExecutionPolicy):
     def on_device_failure(self, executor, device: Device) -> None:
         """Redistribute the dead device's remaining queue (if repairing)."""
         dead_queue = self._queues.pop(device.uid, [])
+        self._uids = sorted(self._queues)
+        self._queued.difference_update(dead_queue)
         if not dead_queue:
             return
         if not self.repair:
@@ -161,6 +176,7 @@ class StaticPolicy(ExecutionPolicy):
                 continue  # task is DEAD-ended; executor will report failure
             target = min(candidates, key=lambda d: (load.get(d.uid, 0.0), d.uid))
             self._queues.setdefault(target.uid, []).append(task_name)
+            self._queued.add(task_name)
             planned = self.schedule.assignments.get(task_name)
             load[target.uid] = load.get(target.uid, 0.0) + (
                 planned.duration if planned else 0.0
@@ -175,6 +191,7 @@ class StaticPolicy(ExecutionPolicy):
 
         for uid in self._queues:
             self._queues[uid].sort(key=lambda t: (planned_start(t), t))
+        self._uids = sorted(self._queues)
 
 
 class DynamicMctPolicy(ExecutionPolicy):

@@ -92,20 +92,11 @@ class Device:
         self.busy_intervals: List[Tuple[float, float]] = []
         self.tasks_run: int = 0
         self.failed: bool = False
-        self._uid: Optional[str] = None
-
-    @property
-    def uid(self) -> str:
-        """Globally unique device id, ``<node>:<spec-name>#<index>``.
-
-        Cached on first access — it is the hottest lookup in the EFT
-        inner loops, and node/spec/index never change after construction.
-        """
-        uid = self._uid
-        if uid is None:
-            node_name = getattr(self.node, "name", "?")
-            uid = self._uid = f"{node_name}:{self.spec.name}#{self.index}"
-        return uid
+        # Globally unique id, ``<node>:<spec-name>#<index>``.  A plain
+        # attribute, not a property: it is the hottest lookup in the EFT
+        # inner loops, and node/spec/index never change after construction.
+        node_name = getattr(node, "name", "?")
+        self.uid: str = f"{node_name}:{spec.name}#{index}"
 
     @property
     def device_class(self) -> DeviceClass:
@@ -153,19 +144,13 @@ class Device:
         A correctly accounted device never has more overlapping busy
         intervals than it has slots; the sanitizer audits exactly that.
         Zero-length intervals are ignored, and an interval ending at the
-        instant another begins does not count as overlap.
+        instant another begins does not count as overlap.  The sweep is
+        shared with the static schedule auditor (one implementation, two
+        audit layers).
         """
-        events: List[Tuple[float, int]] = []
-        for start, end in self.busy_intervals:
-            if end > start:
-                events.append((start, 1))
-                events.append((end, -1))
-        events.sort(key=lambda ev: (ev[0], ev[1]))  # close before open at ties
-        current = peak = 0
-        for _time, delta in events:
-            current += delta
-            peak = max(peak, current)
-        return peak
+        from repro.sim.intervals import max_overlap
+
+        return max_overlap(self.busy_intervals)
 
     def utilization(self, makespan: float) -> float:
         """Fraction of [0, makespan] this device spent busy."""

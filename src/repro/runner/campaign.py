@@ -90,16 +90,22 @@ def golden_jobs() -> List[object]:
     """The pinned golden-regression cells (see tests/golden/)."""
     from repro.experiments.common import make_job, preset_spec, suite_workflows
 
+    from repro.workflows.serialize import workflow_to_dict
+
     workflows = suite_workflows(size=GOLDEN_SIZE, seed=GOLDEN_SEED)
     cluster = preset_spec(
         "hybrid", nodes=4, cores_per_node=4, gpus_per_node=1
     )
     jobs = []
     for wname, wf in workflows.items():
+        # One shared document per workflow: the in-process worker memoizes
+        # deserialization by document identity, so the 8 scheduler cells
+        # of a suite reuse one Workflow instance (and its graph caches).
+        doc = workflow_to_dict(wf)
         for sched in GOLDEN_SCHEDULERS:
             jobs.append(
                 make_job(
-                    wf,
+                    doc,
                     cluster,
                     scheduler=sched,
                     seed=GOLDEN_SEED,

@@ -39,13 +39,27 @@ def _normalize(obj: Any) -> Any:
 
 def canonical_json(obj: Any) -> str:
     """Canonical JSON text: sorted keys, no whitespace, exact floats."""
-    return json.dumps(
-        _normalize(obj),
-        sort_keys=True,
-        separators=(",", ":"),
-        ensure_ascii=True,
-        allow_nan=False,
-    )
+    try:
+        # Fast path: job payloads are str-keyed JSON-native trees, which
+        # the C encoder serializes directly to the same canonical text
+        # the normalizing walk would produce (tuples render as arrays).
+        return json.dumps(
+            obj,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError):
+        # Exotic containers or key types: normalize first (this is also
+        # where unsupported types get the descriptive TypeError).
+        return json.dumps(
+            _normalize(obj),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+            allow_nan=False,
+        )
 
 
 def digest(obj: Any) -> str:

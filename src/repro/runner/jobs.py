@@ -94,15 +94,38 @@ def _build_scheduler(spec: Union[str, Dict[str, Any]]):
     return specs.build(spec)
 
 
+#: Deserialized workflows keyed by document identity.  Campaign builders
+#: share one document across the cells of a grid row (e.g. the 8 golden
+#: scheduler cells per suite), so inline workers rebuild each workflow
+#: once instead of once per cell.  Entries hold a strong reference to the
+#: document, which keeps its ``id`` valid for the lifetime of the entry;
+#: the ``is`` check below makes a stale hit impossible either way.
+_workflow_memo: Dict[int, tuple] = {}
+_WORKFLOW_MEMO_MAX = 16
+
+
+def _workflow_for(doc: Dict[str, Any]):
+    """The Workflow for ``doc``, memoized by document identity."""
+    from repro.workflows.serialize import workflow_from_dict
+
+    entry = _workflow_memo.get(id(doc))
+    if entry is not None and entry[0] is doc:
+        return entry[1]
+    wf = workflow_from_dict(doc)
+    if len(_workflow_memo) >= _WORKFLOW_MEMO_MAX:
+        _workflow_memo.clear()
+    _workflow_memo[id(doc)] = (doc, wf)
+    return wf
+
+
 def execute_sim(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker: rebuild the cell's objects, run it, return the record dict."""
     # The import registers HDWS in the scheduler registry inside workers.
     import repro.core  # noqa: F401
     from repro.core.api import run_workflow
-    from repro.workflows.serialize import workflow_from_dict
 
     try:
-        wf = workflow_from_dict(payload["workflow"])
+        wf = _workflow_for(payload["workflow"])
         cluster = specs.build(payload["cluster"])
         scheduler = _build_scheduler(payload["scheduler"])
         config = {k: specs.build(v) for k, v in payload["config"].items()}
@@ -118,10 +141,9 @@ def execute_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker: build the context, time the scheduling call itself."""
     import repro.core  # noqa: F401
     from repro.schedulers.base import SchedulingContext
-    from repro.workflows.serialize import workflow_from_dict
 
     try:
-        wf = workflow_from_dict(payload["workflow"])
+        wf = _workflow_for(payload["workflow"])
         cluster = specs.build(payload["cluster"])
         scheduler = _build_scheduler(payload["scheduler"])
         if isinstance(scheduler, str):

@@ -12,7 +12,12 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Set
 
-from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    eft_placement,
+    eft_scan,
+)
 from repro.schedulers.schedule import Schedule
 
 
@@ -59,8 +64,8 @@ class CpopScheduler(Scheduler):
                 schedule.add(name, cp_device.uid, start, finish)
             else:
                 best = None
-                for device in context.eligible_devices(name):
-                    start, finish = eft_placement(context, schedule, name, device)
+                devices, starts, finishes = eft_scan(context, schedule, name)
+                for device, start, finish in zip(devices, starts, finishes):
                     if best is None or finish < best[2] - 1e-15:
                         best = (device, start, finish)
                 device, start, finish = best

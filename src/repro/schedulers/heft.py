@@ -11,7 +11,7 @@ baseline of every system in this paper's family:
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_scan
 from repro.schedulers.schedule import Schedule
 
 
@@ -36,10 +36,10 @@ class HeftScheduler(Scheduler):
         schedule = Schedule()
         for name in order:
             best = None
-            for device in context.eligible_devices(name):
-                start, finish = eft_placement(
-                    context, schedule, name, device, self.allow_insertion
-                )
+            devices, starts, finishes = eft_scan(
+                context, schedule, name, self.allow_insertion
+            )
+            for device, start, finish in zip(devices, starts, finishes):
                 if best is None or finish < best[2] - 1e-15:
                     best = (device, start, finish)
             device, start, finish = best

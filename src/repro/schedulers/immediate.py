@@ -14,7 +14,12 @@ and mapped immediately, with no batch reconsideration.
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+from repro.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    eft_placement,
+    eft_scan,
+)
 from repro.schedulers.schedule import Schedule
 
 
@@ -28,8 +33,8 @@ class MctScheduler(Scheduler):
         schedule = Schedule()
         for name in context.workflow.topological_order():
             best = None
-            for device in context.eligible_devices(name):
-                start, finish = eft_placement(context, schedule, name, device)
+            devices, starts, finishes = eft_scan(context, schedule, name)
+            for device, start, finish in zip(devices, starts, finishes):
                 if best is None or finish < best[2] - 1e-15:
                     best = (device, start, finish)
             device, start, finish = best

@@ -13,7 +13,10 @@ from __future__ import annotations
 import heapq
 from typing import Dict
 
-from repro.schedulers.base import Scheduler, SchedulingContext, eft_placement
+import numpy as np
+
+from repro.schedulers import _reference
+from repro.schedulers.base import Scheduler, SchedulingContext, eft_scan
 from repro.schedulers.schedule import Schedule
 
 
@@ -23,29 +26,54 @@ def optimistic_cost_table(context: SchedulingContext) -> Dict[str, Dict[str, flo
     ``OCT[t][d]`` is the optimistic remaining path length below ``t`` if it
     runs on ``d`` and every descendant gets its best device.  Exit tasks
     have an all-zero row.  Shared by PEFT and by HDWS's lookahead term.
+    Computed by the vectorized kernel unless reference mode is active.
+    """
+    if _reference.reference_active():
+        return _reference.optimistic_cost_table(context)
+    return _vec_optimistic_cost_table(context)
+
+
+def _vec_optimistic_cost_table(
+    context: SchedulingContext,
+) -> Dict[str, Dict[str, float]]:
+    """Vectorized OCT via the min / excluded-min trick.
+
+    For a child placed anywhere, ``best_for_child(p) = min(A_p,
+    excl_min(p) + comm)`` where ``A_d = OCT[child][d] + exec(child, d)``
+    and ``excl_min(p)`` is the minimum of ``A`` over devices other than
+    ``p`` — the overall minimum ``m1``, unless ``p`` is its *unique*
+    argmin, in which case the second minimum ``m2``.  Both branches use
+    the exact values the scalar reference accumulates (float min/max are
+    order-independent and ``min(A + c) == min(A) + c`` exactly because
+    float addition is monotone), so the table is bit-identical.
     """
     wf = context.workflow
-    table: Dict[str, Dict[str, float]] = {}
+    uids, _index = context._device_table()
+    n_dev = len(uids)
+    rows: Dict[str, np.ndarray] = {}
     for name in reversed(wf.topological_order()):
-        row: Dict[str, float] = {}
-        children = wf.successors(name)
-        for device in context.eligible_devices(name):
-            worst_child = 0.0
-            for child in children:
-                best_for_child = float("inf")
-                for cdev in context.eligible_devices(child):
-                    cost = table[child][cdev.uid] + context.exec_time(
-                        child, cdev.uid
-                    )
-                    if cdev.uid != device.uid:
-                        cost += context.mean_comm(name, child)
-                    if cost < best_for_child:
-                        best_for_child = cost
-                if best_for_child > worst_child:
-                    worst_child = best_for_child
-            row[device.uid] = worst_child
-        table[name] = row
-    return table
+        gidx, _exec_arr, _uids = context._oct_task_arrays(name)
+        worst = np.zeros(len(gidx))
+        for child in wf.successors(name):
+            cgidx, cexec, _cuids = context._oct_task_arrays(child)
+            a = rows[child] + cexec
+            k = int(np.argmin(a))
+            m1 = float(a[k])
+            mc = context.mean_comm(name, child)
+            a_full = np.full(n_dev, np.inf)
+            a_full[cgidx] = a
+            excl_full = np.full(n_dev, m1)
+            if np.count_nonzero(a == m1) == 1:
+                m2 = float(np.min(np.delete(a, k))) if len(a) > 1 else np.inf
+                excl_full[cgidx[k]] = m2
+            best_full = np.minimum(a_full, excl_full + mc)
+            np.maximum(worst, best_full[gidx], out=worst)
+        rows[name] = worst
+    out: Dict[str, Dict[str, float]] = {}
+    for name, worst in rows.items():
+        _g, _e, task_uids = context._oct_task_arrays(name)
+        out[name] = dict(zip(task_uids, worst.tolist()))
+    return out
 
 
 class PeftScheduler(Scheduler):
@@ -69,9 +97,10 @@ class PeftScheduler(Scheduler):
         while heap:
             _r, name = heapq.heappop(heap)
             best = None
-            for device in context.eligible_devices(name):
-                start, finish = eft_placement(context, schedule, name, device)
-                score = finish + oct_table[name][device.uid]
+            oct_row = oct_table[name]
+            devices, starts, finishes = eft_scan(context, schedule, name)
+            for device, start, finish in zip(devices, starts, finishes):
+                score = finish + oct_row[device.uid]
                 if best is None or score < best[3] - 1e-15:
                     best = (device, start, finish, score)
             device, start, finish, _score = best

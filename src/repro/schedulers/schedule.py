@@ -9,9 +9,10 @@ non-overlapping intervals supporting insertion-based gap search (the
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.intervals import IntervalError, IntervalIndex
 
 
 @dataclass(frozen=True)
@@ -45,20 +46,19 @@ class DeviceTimeline:
 
     def __init__(self, device: str) -> None:
         self.device = device
-        self._starts: List[float] = []
-        self._intervals: List[Tuple[float, float, str]] = []
+        self._index = IntervalIndex()
 
     def __len__(self) -> int:
-        return len(self._intervals)
+        return len(self._index)
 
     @property
     def intervals(self) -> List[Tuple[float, float, str]]:
         """(start, end, task) triples in time order."""
-        return list(self._intervals)
+        return self._index.intervals
 
     def free_at(self) -> float:
         """End of the last occupied interval (0 when empty)."""
-        return self._intervals[-1][1] if self._intervals else 0.0
+        return self._index.last_end()
 
     def earliest_fit(
         self, ready: float, duration: float, allow_insertion: bool = True
@@ -66,48 +66,30 @@ class DeviceTimeline:
         """Earliest start >= ready where ``duration`` fits.
 
         With insertion enabled the search considers gaps between existing
-        intervals; otherwise only the tail of the timeline.
+        intervals (bisect-indexed — see
+        :meth:`repro.sim.intervals.IntervalIndex.earliest_fit`); otherwise
+        only the tail of the timeline.
         """
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        if not allow_insertion or not self._intervals:
-            return max(ready, self.free_at())
-        # Gap before the first interval.
-        first_start = self._intervals[0][0]
-        if ready + duration <= first_start:
-            return ready
-        # Gaps between consecutive intervals.
-        for (s0, e0, _t0), (s1, _e1, _t1) in zip(
-            self._intervals, self._intervals[1:]
-        ):
-            gap_start = max(ready, e0)
-            if gap_start + duration <= s1:
-                return gap_start
-        return max(ready, self.free_at())
+        return self._index.earliest_fit(ready, duration, allow_insertion)
 
     def add(self, start: float, end: float, task: str) -> None:
         """Occupy [start, end]; raises on overlap with an existing interval."""
         if end < start:
             raise ValueError(f"interval reversed for task {task!r}")
-        idx = bisect.bisect_left(self._starts, start)
-        if idx > 0:
-            _ps, pe, pt = self._intervals[idx - 1]
-            if pe > start + 1e-12:
-                raise ValueError(
-                    f"task {task!r} overlaps {pt!r} on device {self.device}"
-                )
-        if idx < len(self._intervals):
-            ns, _ne, nt = self._intervals[idx]
-            if end > ns + 1e-12:
-                raise ValueError(
-                    f"task {task!r} overlaps {nt!r} on device {self.device}"
-                )
-        self._starts.insert(idx, start)
-        self._intervals.insert(idx, (start, end, task))
+        try:
+            self._index.add(start, end, task)
+        except IntervalError:
+            clash = self._index.overlapping(start, end)
+            other = clash[0][2] if clash else "<unknown>"
+            raise ValueError(
+                f"task {task!r} overlaps {other!r} on device {self.device}"
+            ) from None
 
     def busy_time(self) -> float:
         """Total occupied seconds."""
-        return sum(e - s for s, e, _t in self._intervals)
+        return sum(e - s for s, e, _t in self._index)
 
 
 class Schedule:

@@ -30,6 +30,7 @@ from typing import Dict, List, Tuple
 
 from repro.platform.cluster import Cluster
 from repro.schedulers.schedule import Schedule
+from repro.sim.intervals import max_overlap
 from repro.staticcheck.findings import Finding, error
 from repro.workflows.graph import Workflow
 
@@ -156,23 +157,18 @@ def audit_schedule(
 
     # Slot oversubscription: peak overlap per device vs its slot count,
     # computed from the assignments themselves (the timelines may have
-    # been bypassed by whoever built the schedule).
-    per_device: Dict[str, List[Tuple[float, int]]] = {}
+    # been bypassed by whoever built the schedule).  The sweep itself is
+    # the shared repro.sim.intervals.max_overlap — the same code the
+    # runtime sanitizer audits executed intervals with.
+    per_device: Dict[str, List[Tuple[float, float]]] = {}
     for name, a in assignments.items():
-        if a.finish > a.start:
-            events = per_device.setdefault(a.device, [])
-            events.append((a.start, 1))
-            events.append((a.finish, -1))
+        per_device.setdefault(a.device, []).append((a.start, a.finish))
     for uid in sorted(per_device):
         try:
             slots = cluster.device(uid).spec.slots
         except KeyError:
             continue  # already reported as schedule-unknown-device
-        events = sorted(per_device[uid], key=lambda ev: (ev[0], ev[1]))
-        current = peak = 0
-        for _time, delta in events:
-            current += delta
-            peak = max(peak, current)
+        peak = max_overlap(per_device[uid])
         if peak > slots:
             findings.append(
                 error(

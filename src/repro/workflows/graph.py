@@ -32,6 +32,24 @@ class Workflow:
         self._producer: Dict[str, str] = {}  # file -> task
         self._control_edges: Set[Tuple[str, str]] = set()
         self._graph_cache: Optional[nx.DiGraph] = None
+        # Structural-query memos (schedulers call predecessors/successors
+        # and the topological order in their inner loops; sorting every
+        # call dominated rank computation before these caches).  The
+        # cached lists are shared — callers must not mutate them.
+        self._pred_cache: Dict[str, List[str]] = {}
+        self._succ_cache: Dict[str, List[str]] = {}
+        self._topo_cache: Optional[List[str]] = None
+        # Set by validate_workflow after a clean pass; cleared on mutation
+        # so repeated runs of the same workflow validate once.
+        self._validated_ok = False
+
+    def _invalidate(self) -> None:
+        """Drop every derived-structure cache after a mutation."""
+        self._graph_cache = None
+        self._pred_cache = {}
+        self._succ_cache = {}
+        self._topo_cache = None
+        self._validated_ok = False
 
     # ---------------------------------------------------------------- #
     # construction                                                     #
@@ -47,7 +65,7 @@ class Workflow:
                 )
             return existing
         self.files[file.name] = file
-        self._graph_cache = None
+        self._invalidate()
         return file
 
     def add_task(self, task: Task) -> Task:
@@ -72,7 +90,7 @@ class Workflow:
         self.tasks[task.name] = task
         for fname in task.outputs:
             self._producer[fname] = task.name
-        self._graph_cache = None
+        self._invalidate()
         return task
 
     def add_control_edge(self, src: str, dst: str) -> None:
@@ -82,7 +100,7 @@ class Workflow:
         if src == dst:
             raise ValueError(f"self control edge on {src!r}")
         self._control_edges.add((src, dst))
-        self._graph_cache = None
+        self._invalidate()
 
     # ---------------------------------------------------------------- #
     # derived structure                                                #
@@ -123,12 +141,20 @@ class Workflow:
         return g
 
     def predecessors(self, task_name: str) -> List[str]:
-        """Immediate upstream tasks, sorted for determinism."""
-        return sorted(self.graph().predecessors(task_name))
+        """Immediate upstream tasks, sorted for determinism (cached)."""
+        cached = self._pred_cache.get(task_name)
+        if cached is None:
+            cached = sorted(self.graph().predecessors(task_name))
+            self._pred_cache[task_name] = cached
+        return cached
 
     def successors(self, task_name: str) -> List[str]:
-        """Immediate downstream tasks, sorted for determinism."""
-        return sorted(self.graph().successors(task_name))
+        """Immediate downstream tasks, sorted for determinism (cached)."""
+        cached = self._succ_cache.get(task_name)
+        if cached is None:
+            cached = sorted(self.graph().successors(task_name))
+            self._succ_cache[task_name] = cached
+        return cached
 
     def edge_data_mb(self, src: str, dst: str) -> float:
         """Bytes carried on edge src->dst (0 if no edge)."""
@@ -148,8 +174,12 @@ class Workflow:
         return sorted(n for n in g.nodes if g.out_degree(n) == 0)
 
     def topological_order(self) -> List[str]:
-        """A deterministic topological ordering of task names."""
-        return list(nx.lexicographical_topological_sort(self.graph()))
+        """A deterministic topological ordering of task names (cached)."""
+        if self._topo_cache is None:
+            self._topo_cache = list(
+                nx.lexicographical_topological_sort(self.graph())
+            )
+        return self._topo_cache
 
     def levels(self) -> List[List[str]]:
         """Tasks grouped by longest-path depth from the entries."""

@@ -34,7 +34,14 @@ def find_problems(workflow: Workflow) -> List[str]:
 
 
 def validate_workflow(workflow: Workflow) -> None:
-    """Raise :class:`ValidationError` if the workflow is malformed."""
+    """Raise :class:`ValidationError` if the workflow is malformed.
+
+    A clean pass is remembered on the workflow (invalidated on mutation),
+    so running the same instance many times validates it once.
+    """
+    if getattr(workflow, "_validated_ok", False):
+        return
     problems = find_problems(workflow)
     if problems:
         raise ValidationError(problems)
+    workflow._validated_ok = True

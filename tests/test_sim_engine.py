@@ -211,3 +211,123 @@ class TestDeterminism:
             return order
 
         assert run_once() == run_once()
+
+
+class TestLifecycleEdgeCases:
+    """Handle-state races and mid-run boundaries for the event kernel."""
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, fired.append, "y")
+        sim.run(max_events=1)
+        assert fired == ["x"]
+        # Stale cancel from a caller holding the old handle: must not
+        # decrement the live count or resurrect anything.
+        handle.cancel()
+        assert sim.pending == 1
+        assert sim.events_fired == 1
+        sim.run()
+        assert fired == ["x", "y"]
+        assert sim.events_fired == 2
+
+    def test_cancel_from_callback_racing_same_timestamp(self):
+        # A callback cancels two siblings at the *same* instant: one that
+        # already fired (must be a no-op) and one still pending (must be
+        # suppressed).  Priorities order the burst: first(0), racer(1),
+        # later(2).
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, fired.append, "first", priority=0)
+        later = sim.schedule(1.0, fired.append, "later", priority=2)
+
+        def racer():
+            fired.append("racer")
+            first.cancel()   # already fired: no-op
+            later.cancel()   # still pending: must suppress it
+
+        sim.schedule(1.0, racer, priority=1)
+        sim.run()
+        assert fired == ["first", "racer"]
+        assert sim.pending == 0
+        assert sim.events_fired == 2
+
+    def test_max_events_stopping_mid_timestamp_resumes_in_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(4):
+            sim.schedule(5.0, fired.append, i)
+        sim.run(max_events=2)
+        # Stopped halfway through the t=5 burst: clock sits at 5, the
+        # remaining same-time events are intact and fire in seq order.
+        assert fired == [0, 1]
+        assert sim.now == 5.0
+        assert sim.pending == 2
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 5.0
+
+    def test_clear_after_partial_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run(max_events=1)
+        sim.clear()
+        assert sim.pending == 0
+        assert sim.now == 1.0  # clear never touches the clock
+        sim.run()
+        assert fired == [1]
+        # The engine is still usable after a clear.
+        sim.schedule(1.0, fired.append, 4)
+        sim.run()
+        assert fired == [1, 4]
+        assert sim.now == 2.0
+
+
+class TestCancelledHeapEntries:
+    """Regression: tombstones must not distort pending or run(until)."""
+
+    def test_mass_cancel_keeps_pending_exact(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for h in handles[::2]:
+            h.cancel()
+        # Tombstones may linger in the heap; the count must not see them.
+        assert sim.pending == 100
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_fired == 100
+
+    def test_cancelled_head_does_not_block_until_advance(self):
+        # A cancelled event *beyond* `until` used to be counted as pending,
+        # which suppressed the final clock advance to `until`.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        late = sim.schedule(100.0, fired.append, 100)
+        late.cancel()
+        assert sim.run(until=10.0) == 10.0
+        assert fired == [1]
+        assert sim.now == 10.0
+
+    def test_all_cancelled_queue_still_advances_to_until(self):
+        sim = Simulator()
+        for h in [sim.schedule(float(i + 1), lambda: None) for i in range(5)]:
+            h.cancel()
+        assert sim.pending == 0
+        assert sim.run(until=7.5) == 7.5
+
+    def test_compaction_preserves_order_and_counts(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(float(i + 1), fired.append, i) for i in range(256)]
+        # Cancel enough to trigger the tombstone compaction threshold.
+        for h in handles[:200]:
+            h.cancel()
+        assert sim.pending == 56
+        sim.run()
+        assert fired == list(range(200, 256))
+        assert sim.events_fired == 56
