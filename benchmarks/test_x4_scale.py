@@ -1,0 +1,22 @@
+"""X4 (extension) — streaming campaign scale bench."""
+
+from repro.experiments import run_x4
+
+
+def test_x4_streaming_scale(run_experiment):
+    result = run_experiment(run_x4)
+    notes = result.notes
+
+    # Every cell completed and streamed through the aggregators.
+    assert notes["cells"] >= 512 or notes["cells"] == notes["simulated"]
+    assert notes["success_rate"] == 1.0
+    assert notes["makespan"]["n"] == notes["cells"]
+    # Aggregates are physically sensible.
+    assert 0 < notes["makespan"]["min"] <= notes["makespan"]["mean"]
+    assert notes["makespan"]["mean"] <= notes["makespan"]["max"]
+    assert 0 < notes["makespan_geomean"] <= notes["makespan"]["mean"]
+    assert notes["energy_j_mean"] > 0
+    # The streaming path keeps memory flat: even the full 10^5-cell run
+    # must stay far below a record-list's footprint.
+    assert notes["peak_rss_mb"] < 1536
+    assert notes["cells_per_sec"] > 0

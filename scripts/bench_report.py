@@ -14,6 +14,15 @@ run into a small, schema-versioned set of tracked series:
   (machine-dependent; normalized by the calibration probe when checked).
 * ``runner.wall_s``                 — wall-clock of the grid run
   (machine-dependent, informational).
+* ``runner.cells_per_sec``          — cold streaming-campaign throughput:
+  512 cells over the persistent pool into a fresh cache (normalized by
+  the calibration probe when checked; smaller = worse).
+* ``runner.warm_cells_per_sec``     — the same campaign fully memoized:
+  key computation + shard-index lookups only (normalized; smaller =
+  worse).
+* ``runner.peak_rss_mb``            — peak resident set of the report
+  process (larger = worse; never calibration-normalized — memory does
+  not scale with host speed).
 * ``sanitizer.overhead_pct``        — wall-time overhead of running one
   fixed cell with the simulation sanitizer attached (informational).
 * ``calibration.probe_s``           — wall time of a fixed pure-Python
@@ -50,7 +59,15 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 SCHEMA = "repro.bench/v1"
 
 #: Series that gate under --baseline (beyond the makespan.geomean.* set).
-GATED_WALL_SERIES = ("sim.events_per_sec",)
+#: Calibration-normalized throughput: smaller = worse.
+GATED_WALL_SERIES = (
+    "sim.events_per_sec",
+    "runner.cells_per_sec",
+    "runner.warm_cells_per_sec",
+)
+
+#: Gated absolute series where larger = worse (never normalized).
+GATED_LARGER_WORSE_SERIES = ("runner.peak_rss_mb",)
 
 
 def _git_sha() -> str:
@@ -134,8 +151,67 @@ def run_grid(jobs: int) -> Dict[str, float]:
     return series
 
 
+def runner_throughput(jobs: int) -> Dict[str, float]:
+    """Cold/warm streaming-campaign throughput plus peak resident set.
+
+    Replays a 16-batch x 32-cell campaign (one shared workflow document,
+    seeds varying) through a fresh :class:`CampaignRunner` with a
+    temporary shard-indexed cache: the cold pass pays pool spawn, cell
+    simulation and cache writes; the warm passes (min of 3) exercise
+    only key computation and batched index lookups.
+    """
+    import resource
+    import tempfile
+
+    from repro.experiments.common import make_job
+    from repro.platform import presets
+    from repro.runner.cache import ResultCache
+    from repro.runner.pool import CampaignRunner
+    from repro.runner.specs import factory_spec
+    from repro.workflows.generators import random_dag
+    from repro.workflows.serialize import workflow_to_dict
+
+    doc = workflow_to_dict(random_dag(size=8, seed=3))
+    cluster = factory_spec(
+        presets.hybrid_cluster, nodes=2, cores_per_node=2, gpus_per_node=1
+    )
+    batches = [
+        [
+            make_job(doc, cluster, scheduler="heft", seed=b * 32 + i,
+                     noise_cv=0.05, label=f"bench:b{b}:{i}")
+            for i in range(32)
+        ]
+        for b in range(16)
+    ]
+    n_cells = sum(len(batch) for batch in batches)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(os.path.join(tmp, "cache"))
+        with CampaignRunner(jobs=jobs, cache=cache) as runner:
+            t0 = time.perf_counter()
+            for batch in batches:
+                runner.run_sims(batch)
+            cold_wall = time.perf_counter() - t0
+            warm_wall = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                for batch in batches:
+                    runner.run_sims(batch)
+                warm_wall = min(warm_wall, time.perf_counter() - t0)
+
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "runner.cells_per_sec": n_cells / cold_wall if cold_wall > 0 else 0.0,
+        "runner.warm_cells_per_sec": (
+            n_cells / warm_wall if warm_wall > 0 else 0.0
+        ),
+        "runner.peak_rss_mb": peak_rss_mb,
+    }
+
+
 def build_report(jobs: int) -> Dict[str, object]:
     series = run_grid(jobs)
+    series.update(runner_throughput(jobs))
     series["sanitizer.overhead_pct"] = sanitizer_overhead_pct()
     series["calibration.probe_s"] = calibration_probe()
     return {
@@ -169,12 +245,13 @@ def check_against(report: Dict[str, object], baseline: Dict[str, object],
             continue
         gated = name.startswith("makespan.geomean.")
         normalized = name in GATED_WALL_SERIES
-        if not (gated or normalized):
+        larger_worse = name in GATED_LARGER_WORSE_SERIES
+        if not (gated or normalized or larger_worse):
             continue  # informational series never gate
         ref = base[name] * (speed if normalized else 1.0)
         val = cur[name]
-        if gated:
-            # Makespans: worse = larger.
+        if gated or larger_worse:
+            # Makespans and memory: worse = larger.
             regressed = val > ref * (1.0 + tolerance)
         else:
             # Throughput: worse = smaller.

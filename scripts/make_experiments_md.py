@@ -109,12 +109,19 @@ EXPECTATIONS = {
         "buys the same protection with per-second overhead instead of "
         "capacity."
     ),
+    "x4": (
+        "Extension (no paper counterpart): the streaming campaign path "
+        "sustains large cell counts at flat memory — records fold into "
+        "O(1) Welford aggregates as they complete instead of "
+        "materializing as lists, and the content-addressed cache makes "
+        "a killed run resumable."
+    ),
 }
 
 ORDER = [
     "t1", "t2", "t3", "t4", "t5",
     "f1", "f2", "f3", "f4", "f5", "f6", "f7",
-    "x2", "x3",
+    "x2", "x3", "x4",
 ]
 
 

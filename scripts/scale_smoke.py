@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Scale smoke: kill a streaming campaign mid-flight, resume, verify.
+
+The checkpoint/resume contract of the campaign runner, exercised the
+blunt way a cluster would: phase ``run`` executes a ``--cells`` campaign
+of small random-DAG cells through a :class:`CampaignRunner` with an
+on-disk shard-indexed cache, and ``--die-after K`` hard-exits the
+process (``os._exit``, no cleanup, no atexit — morally a SIGKILL) once
+K cells have been simulated.
+
+The default driver phase runs the crash pass in a subprocess, then
+*resumes* by re-running the identical campaign against the same cache
+directory, and asserts:
+
+* the resumed pass only simulates cells the crashed pass never synced —
+  at most ``cells - die_after`` plus the cache's ``sync_every`` slack
+  (entries pending since the last auto-checkpoint die with the process);
+* every cell of the campaign completes, streamed through O(1)-memory
+  aggregates, with peak RSS below ``--rss-limit-mb``;
+* a schema-versioned JSON artifact records both passes for the CI log.
+
+Usage::
+
+    python scripts/scale_smoke.py --cells 5000 --jobs 2 --out bench_out/scale_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCHEMA = "repro.scale-smoke/v1"
+DIE_EXIT = 17
+#: Auto-checkpoint cadence of the smoke cache: small enough that a crash
+#: loses little, large enough to exercise the pending-entry path.
+SYNC_EVERY = 64
+BATCH = 256
+
+
+def _batches(cells: int, seed: int):
+    """The campaign, batch by batch (shared documents within a batch)."""
+    from repro.experiments.common import make_job
+    from repro.platform import presets
+    from repro.runner.specs import factory_spec
+    from repro.workflows.generators import random_dag
+    from repro.workflows.serialize import workflow_to_dict
+
+    docs = [
+        workflow_to_dict(random_dag(size=8, seed=seed + k)) for k in range(4)
+    ]
+    cluster = factory_spec(
+        presets.hybrid_cluster, nodes=2, cores_per_node=2, gpus_per_node=1
+    )
+    n_batches = (cells + BATCH - 1) // BATCH
+    for b in range(n_batches):
+        start = b * BATCH
+        count = min(BATCH, cells - start)
+        yield [
+            make_job(
+                docs[b % len(docs)], cluster, scheduler="heft",
+                seed=seed + start + i, noise_cv=0.05,
+                label=f"smoke:b{b}:{i}",
+            )
+            for i in range(count)
+        ]
+
+
+def phase_run(args) -> int:
+    """One streaming pass; optionally die mid-campaign."""
+    from repro.analysis.stats import StreamingSummary
+    from repro.runner.cache import ResultCache
+    from repro.runner.pool import CampaignRunner
+
+    cache = ResultCache(args.cache_dir, sync_every=SYNC_EVERY)
+    makespan = StreamingSummary()
+    completed = 0
+    t0 = time.perf_counter()
+    with CampaignRunner(jobs=args.jobs, cache=cache) as runner:
+        for jobs in _batches(args.cells, args.seed):
+            for _i, record in runner.run_sims_iter(jobs):
+                makespan.add(record.makespan)
+                completed += 1
+                if args.die_after and runner.simulated >= args.die_after:
+                    # A crashed campaign does not sync, flush or close.
+                    os._exit(DIE_EXIT)
+        wall = time.perf_counter() - t0
+        stats = {
+            "cells": completed,
+            "simulated": runner.simulated,
+            "wall_s": wall,
+            "cells_per_sec": completed / wall if wall > 0 else 0.0,
+            "makespan_mean": makespan.result().mean,
+            "peak_rss_mb": (
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+            ),
+        }
+    print(json.dumps(stats, sort_keys=True))
+    return 0
+
+
+def phase_drive(args) -> int:
+    """Crash a campaign in a child process, resume it here, assert."""
+    cache_dir = args.cache_dir or os.path.join(args.work_dir, "smoke-cache")
+    die_after = max(1, int(args.cells * 0.6))
+
+    crash = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--phase", "run",
+            "--cells", str(args.cells),
+            "--jobs", str(args.jobs),
+            "--seed", str(args.seed),
+            "--cache-dir", cache_dir,
+            "--die-after", str(die_after),
+        ],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    print(f"crash pass: exit {crash.returncode} "
+          f"(expected {DIE_EXIT} after {die_after} cells)")
+    if crash.returncode != DIE_EXIT:
+        print(crash.stdout)
+        print(crash.stderr, file=sys.stderr)
+        print("FAIL: crash pass did not die where instructed")
+        return 1
+
+    # Resume: identical campaign, same cache directory, this process.
+    from repro.analysis.stats import StreamingSummary
+    from repro.runner.cache import ResultCache
+    from repro.runner.pool import CampaignRunner
+
+    cache = ResultCache(cache_dir, sync_every=SYNC_EVERY)
+    reclaimed = cache.gc_tmp()
+    makespan = StreamingSummary()
+    completed = 0
+    t0 = time.perf_counter()
+    with CampaignRunner(jobs=args.jobs, cache=cache) as runner:
+        for jobs in _batches(args.cells, args.seed):
+            for _i, record in runner.run_sims_ordered(jobs):
+                makespan.add(record.makespan)
+                completed += 1
+        resumed_simulated = runner.simulated
+    wall = time.perf_counter() - t0
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    # The crash synced at least (die_after - SYNC_EVERY) completed cells;
+    # the resume may re-simulate only the unsynced remainder.
+    max_resim = args.cells - die_after + SYNC_EVERY
+    checks = {
+        "resumed from checkpoint": resumed_simulated <= max_resim,
+        "every cell completed": completed == args.cells,
+        "memory stayed flat": peak_rss_mb < args.rss_limit_mb,
+    }
+    artifact = {
+        "schema": SCHEMA,
+        "cells": args.cells,
+        "jobs": args.jobs,
+        "die_after": die_after,
+        "crash_exit": crash.returncode,
+        "resumed_simulated": resumed_simulated,
+        "max_resimulated_allowed": max_resim,
+        "tmp_files_reclaimed": reclaimed,
+        "completed": completed,
+        "wall_s": wall,
+        "cells_per_sec": completed / wall if wall > 0 else 0.0,
+        "makespan_mean": makespan.result().mean,
+        "peak_rss_mb": peak_rss_mb,
+        "rss_limit_mb": args.rss_limit_mb,
+        "passed": all(checks.values()),
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+
+    for name, ok in sorted(checks.items()):
+        print(f"{'ok  ' if ok else 'FAIL'} {name}")
+    print(f"resumed pass simulated {resumed_simulated}/{args.cells} cells "
+          f"(<= {max_resim} allowed), peak RSS {peak_rss_mb:.1f} MB, "
+          f"artifact -> {out}")
+    return 0 if artifact["passed"] else 1
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--phase", choices=("drive", "run"), default="drive")
+    ap.add_argument("--cells", type=int, default=5000)
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--cache-dir", default=None)
+    ap.add_argument("--work-dir", default="bench_out")
+    ap.add_argument("--die-after", type=int, default=0,
+                    help="(phase run) hard-exit after this many simulations")
+    ap.add_argument("--rss-limit-mb", type=float, default=1536.0)
+    ap.add_argument("--out", default="bench_out/scale_smoke.json")
+    args = ap.parse_args(argv)
+    if args.phase == "run":
+        if not args.cache_dir:
+            ap.error("--phase run requires --cache-dir")
+        return phase_run(args)
+    return phase_drive(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

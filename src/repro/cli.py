@@ -17,9 +17,10 @@ Subcommands:
 * ``lint`` — determinism lint over simulator source trees.
 * ``list`` — show available workflows, schedulers, presets, experiments.
 
-``exp`` and ``campaign`` accept ``--jobs N`` (process-pool width) and
+``exp`` and ``campaign`` accept ``--jobs N`` (process-pool width),
 ``--cache-dir PATH`` (on-disk memoization of simulation cells; delete the
-directory to invalidate).  ``run``, ``exp`` and ``campaign`` accept
+directory to invalidate) and ``--resume`` (continue a killed run from the
+cache's shard index: only cells it never finished re-simulate).  ``run``, ``exp`` and ``campaign`` accept
 ``--precheck`` to gate every cell on the static model checker first, and
 ``--metrics-out``/``--trace-out`` to export observability artifacts: a
 metrics snapshot JSON and a Chrome ``trace_event`` timeline (per-run for
@@ -143,12 +144,25 @@ def cmd_compare(args) -> int:
 
 
 def _campaign_runner(args):
-    """A CampaignRunner honouring --jobs / --cache-dir / --no-cache."""
+    """A CampaignRunner honouring --jobs / --cache-dir / --no-cache / --resume.
+
+    ``--resume`` requires a cache directory: completed cells are keyed in
+    the cache's shard index, so re-running with the same directory only
+    simulates the cells a killed run never finished.  Stale temp files a
+    crashed writer left behind are reclaimed on the way in.
+    """
     from repro.runner import CampaignRunner, ResultCache
 
     cache = None
     if getattr(args, "cache_dir", None) and not getattr(args, "no_cache", False):
         cache = ResultCache(args.cache_dir)
+        if getattr(args, "resume", False):
+            cache.gc_tmp()
+    elif getattr(args, "resume", False):
+        raise SystemExit(
+            "--resume needs --cache-dir (and no --no-cache): the cache's "
+            "shard index is the record of completed cells"
+        )
     return CampaignRunner(jobs=max(args.jobs, 1), cache=cache)
 
 
@@ -159,6 +173,9 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         help="directory for the on-disk result cache")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue a killed run: with --cache-dir, only "
+                             "cells missing from the cache index re-simulate")
     parser.add_argument("--sanitize", action="store_true",
                         help="audit every run with the simulation sanitizer")
     parser.add_argument("--precheck", action="store_true",
@@ -224,7 +241,9 @@ def cmd_exp(args) -> int:
     runner = EXPERIMENTS[args.id]
     campaign_runner = _campaign_runner(args)
     t0 = clock()
-    with use_runner(campaign_runner), _sanitize_overrides(args):
+    # The runner is a context manager: leaving the block releases the
+    # persistent worker pool and flushes the cache's shard index.
+    with campaign_runner, use_runner(campaign_runner), _sanitize_overrides(args):
         result = runner(quick=not args.full, seed=args.seed)
     wall = clock() - t0
     print(result.render())
@@ -245,9 +264,9 @@ def cmd_campaign(args) -> int:
             print(f"unknown experiment {exp_id!r}; see `repro-flow list`",
                   file=sys.stderr)
             return 2
-    with _sanitize_overrides(args):
+    with _campaign_runner(args) as campaign_runner, _sanitize_overrides(args):
         report = run_campaign(
-            ids, runner=_campaign_runner(args),
+            ids, runner=campaign_runner,
             quick=not args.full, seed=args.seed,
         )
     for exp_id in ids:

@@ -38,6 +38,7 @@ from repro.experiments.f6_traffic import run as run_f6
 from repro.experiments.f7_pareto import run as run_f7
 from repro.experiments.x2_topology import run as run_x2
 from repro.experiments.x3_replication import run as run_x3
+from repro.experiments.x4_scale import run as run_x4
 
 #: Experiment id -> runner.
 REGISTRY = {
@@ -55,6 +56,7 @@ REGISTRY = {
     "f7": run_f7,
     "x2": run_x2,
     "x3": run_x3,
+    "x4": run_x4,
 }
 
 __all__ = ["common", "REGISTRY"] + [f"run_{k}" for k in REGISTRY]

@@ -179,6 +179,18 @@ def run_sims(jobs: List[SimJob]) -> List[SimRecord]:
     return get_runner().run_sims(jobs)
 
 
+def stream_sims(jobs: List[SimJob]) -> Iterator["tuple[int, SimRecord]"]:
+    """Stream ``(index, record)`` pairs in submission order.
+
+    The O(1)-memory path for campaigns too large to hold as record
+    lists: records are yielded as the pool completes them (reordered to
+    submission order), so callers can fold them into streaming
+    aggregates (:mod:`repro.analysis.stats`) or an on-disk shard sink
+    (:mod:`repro.runner.shards`) while later cells still simulate.
+    """
+    return get_runner().run_sims_ordered(jobs)
+
+
 def run_timings(jobs: List[TimingJob]) -> List[TimingRecord]:
     """Fan a batch of timing cells through the active campaign runner."""
     return get_runner().run_timings(jobs)

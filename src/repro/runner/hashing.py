@@ -67,6 +67,71 @@ def digest(obj: Any) -> str:
     return hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()
 
 
+#: Canonical JSON of shared cell parts, keyed by object identity.  A
+#: campaign row shares one serialized workflow document (and usually one
+#: cluster spec) across hundreds or thousands of cells — only
+#: seed/noise/scheduler vary — and the document dominates the payload,
+#: so re-serializing it per cell would make key computation
+#: O(cells x document): the warm-start bottleneck at 10^5-cell scale.
+#: Entries hold a strong reference to the object, keeping its ``id``
+#: valid for the entry's lifetime; the ``is`` check makes a stale hit
+#: impossible either way.
+_part_json_memo: dict = {}
+_PART_JSON_MEMO_MAX = 32
+
+
+def _canonical_part_json(part: Any) -> str:
+    """Memoized :func:`canonical_json` of a shared cell part (dict)."""
+    entry = _part_json_memo.get(id(part))
+    if entry is not None and entry[0] is part:
+        return entry[1]
+    text = canonical_json(part)
+    if len(_part_json_memo) >= _PART_JSON_MEMO_MAX:
+        _part_json_memo.clear()
+    _part_json_memo[id(part)] = (part, text)
+    return text
+
+
+#: JSON encodings of small strings (job kinds, scheduler registry
+#: names), memoized by value.  A campaign re-encodes the same handful of
+#: names once per cell; a dict probe is ~50x cheaper than json.dumps.
+_str_json_memo: dict = {}
+
+
+def _canonical_str_json(s: str) -> str:
+    text = _str_json_memo.get(s)
+    if text is None:
+        if len(_str_json_memo) >= 64:
+            _str_json_memo.clear()
+        text = canonical_json(s)
+        _str_json_memo[s] = text
+    return text
+
+
+#: Content fingerprints of workflow documents, memoized the same way.
+_doc_fp_memo: dict = {}
+
+
+def workflow_fingerprint(doc: Any) -> str:
+    """Content hash of a workflow document (memoized by identity).
+
+    Pool workers use this to recognise the same document arriving in
+    many cell payloads (each unpickled copy has a fresh ``id``) and
+    rebuild the :class:`~repro.workflows.graph.Workflow` once per
+    distinct document instead of once per cell.
+    """
+    entry = _doc_fp_memo.get(id(doc))
+    if entry is not None and entry[0] is doc:
+        return entry[1]
+    fp = hashlib.sha256(
+        _canonical_part_json(doc).encode("ascii")
+    ).hexdigest()
+    if len(_doc_fp_memo) >= _PART_JSON_MEMO_MAX:
+        _doc_fp_memo.clear()
+    _doc_fp_memo[id(doc)] = (doc, fp)
+    return fp
+
+
 def cache_key(job) -> str:
     """Content-addressed key of a :class:`~repro.runner.jobs.SimJob`.
 
@@ -74,14 +139,28 @@ def cache_key(job) -> str:
     serialized workflow document, the cluster factory spec, the scheduler
     name/params, the run configuration (seed, noise, faults, recovery,
     governor, mode, ...) and the cache schema version.
+
+    The canonical text is composed from independently-serialized parts
+    (fields emitted in sorted-key order, exactly as ``json.dumps`` with
+    ``sort_keys=True`` would) so the workflow document — shared across
+    the cells of a campaign row — is serialized once, not once per cell.
+    ``tests/test_runner_hashing.py`` pins the composed key equal to the
+    whole-dict digest.
     """
-    return digest(
-        {
-            "v": CACHE_SCHEMA_VERSION,
-            "kind": job.kind,
-            "workflow": job.workflow,
-            "cluster": job.cluster,
-            "scheduler": job.scheduler,
-            "config": job.config,
-        }
+    # Field order matches sorted(["v", "kind", "workflow", "cluster",
+    # "scheduler", "config"]): cluster, config, kind, scheduler, v,
+    # workflow — byte-compatible with digest() over the full dict.
+    scheduler = job.scheduler
+    text = (
+        '{"cluster":' + _canonical_part_json(job.cluster)
+        + ',"config":' + canonical_json(job.config)
+        + ',"kind":' + _canonical_str_json(job.kind)
+        + ',"scheduler":' + (
+            _canonical_str_json(scheduler)
+            if isinstance(scheduler, str) else _canonical_part_json(scheduler)
+        )
+        + ',"v":' + str(CACHE_SCHEMA_VERSION)
+        + ',"workflow":' + _canonical_part_json(job.workflow)
+        + "}"
     )
+    return hashlib.sha256(text.encode("ascii")).hexdigest()

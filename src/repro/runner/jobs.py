@@ -48,10 +48,19 @@ class SimJob:
     kind = "sim"
 
     def payload(self) -> Dict[str, Any]:
-        """Picklable dict handed to the pool worker."""
+        """Picklable dict handed to the pool worker.
+
+        Carries a content fingerprint of the workflow document so the
+        worker can recognise the same document across payload copies
+        (pickling gives every copy a fresh identity) and rebuild the
+        Workflow once per document, not once per cell.
+        """
+        from repro.runner.hashing import workflow_fingerprint
+
         return {
             "kind": self.kind,
             "workflow": self.workflow,
+            "workflow_fp": workflow_fingerprint(self.workflow),
             "cluster": self.cluster,
             "scheduler": self.scheduler,
             "config": self.config,
@@ -94,27 +103,32 @@ def _build_scheduler(spec: Union[str, Dict[str, Any]]):
     return specs.build(spec)
 
 
-#: Deserialized workflows keyed by document identity.  Campaign builders
-#: share one document across the cells of a grid row (e.g. the 8 golden
-#: scheduler cells per suite), so inline workers rebuild each workflow
-#: once instead of once per cell.  Entries hold a strong reference to the
-#: document, which keeps its ``id`` valid for the lifetime of the entry;
-#: the ``is`` check below makes a stale hit impossible either way.
-_workflow_memo: Dict[int, tuple] = {}
+#: Deserialized workflows keyed by content fingerprint (preferred: the
+#: key survives pickling across the process boundary) or by document
+#: identity (fallback for payloads without a fingerprint).  Campaign
+#: builders share one document across the cells of a grid row (e.g. the
+#: 8 golden scheduler cells per suite), so workers rebuild each workflow
+#: once per distinct document — keeping its lazily-built graph caches
+#: warm — instead of once per cell.  Identity entries hold a strong
+#: reference to the document, which keeps its ``id`` valid for the
+#: lifetime of the entry; the ``is`` check makes a stale hit impossible
+#: either way.
+_workflow_memo: Dict[object, tuple] = {}
 _WORKFLOW_MEMO_MAX = 16
 
 
-def _workflow_for(doc: Dict[str, Any]):
-    """The Workflow for ``doc``, memoized by document identity."""
+def _workflow_for(doc: Dict[str, Any], fingerprint: Optional[str] = None):
+    """The Workflow for ``doc``, memoized by fingerprint or identity."""
     from repro.workflows.serialize import workflow_from_dict
 
-    entry = _workflow_memo.get(id(doc))
-    if entry is not None and entry[0] is doc:
+    memo_key: object = fingerprint if fingerprint is not None else id(doc)
+    entry = _workflow_memo.get(memo_key)
+    if entry is not None and (fingerprint is not None or entry[0] is doc):
         return entry[1]
     wf = workflow_from_dict(doc)
     if len(_workflow_memo) >= _WORKFLOW_MEMO_MAX:
         _workflow_memo.clear()
-    _workflow_memo[id(doc)] = (doc, wf)
+    _workflow_memo[memo_key] = (doc, wf)
     return wf
 
 
@@ -125,7 +139,7 @@ def execute_sim(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.core.api import run_workflow
 
     try:
-        wf = _workflow_for(payload["workflow"])
+        wf = _workflow_for(payload["workflow"], payload.get("workflow_fp"))
         cluster = specs.build(payload["cluster"])
         scheduler = _build_scheduler(payload["scheduler"])
         config = {k: specs.build(v) for k, v in payload["config"].items()}

@@ -1,7 +1,7 @@
-"""The process-pool campaign runner with memoization.
+"""The streaming process-pool campaign runner with memoization.
 
 :class:`CampaignRunner` takes batches of simulation cells and returns
-records in input order.  Three properties the test layer pins down:
+records in input order.  Four properties the test layer pins down:
 
 * **Determinism** — every cell is executed from its data description via
   the same construction path (see :mod:`repro.runner.jobs`), so
@@ -9,15 +9,37 @@ records in input order.  Three properties the test layer pins down:
 * **Memoization** — with a cache attached, completed cells are stored
   under their content hash; a warm rerun only simulates new cells.
   Duplicate cells *within* one batch are simulated once and fanned back
-  to every requesting index.
-* **Order independence** — results are returned in submission order
-  regardless of worker completion order (``Pool.map`` semantics).
+  to every requesting index.  Hit resolution is batched
+  (:meth:`~repro.runner.cache.ResultCache.get_many`): one index load
+  plus one sequential read per pack, not one ``open()`` per cell.
+* **Order independence** — :meth:`run_sims` returns results in
+  submission order regardless of worker completion order (index-tagged
+  payloads, reassembled on arrival).
+* **Streaming** — :meth:`run_sims_iter` yields ``(index, record)`` as
+  cells complete (``imap_unordered`` pipelined dispatch): cache puts and
+  downstream aggregation happen while later cells are still simulating,
+  and nothing forces the whole batch to be held in memory at once.
+
+The worker pool is **persistent**: lazily spawned on the first parallel
+batch and reused across batches for the runner's lifetime, so a campaign
+of many small batches pays the worker start-up cost once, not per batch.
+``CampaignRunner`` is a context manager; call :meth:`close` (or leave
+the ``with`` block) to release the workers.  A leaked runner's pool is
+terminated by a GC finalizer.
+
+Start method: ``forkserver`` where available (avoids the
+fork-in-threaded-process ``DeprecationWarning`` on Python 3.12+ while
+keeping warm-import workers via preload), falling back to ``fork`` then
+``spawn``; ``REPRO_START_METHOD`` forces a specific method and
+``REPRO_CHUNKSIZE`` overrides the dispatch chunk size.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence
+import os
+import weakref
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache
 from repro.runner.hashing import cache_key
@@ -26,13 +48,42 @@ from repro.runner.record import SimRecord, TimingRecord
 
 
 def _pool_context():
-    """Fork where available (cheap, inherits imports), else spawn."""
+    """forkserver where available, else fork, else spawn.
+
+    ``forkserver`` workers fork from a clean single-threaded server
+    process (no stale parent threads/locks, no py3.12 fork deprecation)
+    that pre-imports the simulator, so spawning stays cheap.
+    ``REPRO_START_METHOD`` forces one method (e.g. for debugging spawn
+    path portability).
+    """
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    forced = os.environ.get("REPRO_START_METHOD", "").strip()
+    order = [forced] if forced else ["forkserver", "fork", "spawn"]
+    for method in order:
+        if method in methods:
+            ctx = multiprocessing.get_context(method)
+            if method == "forkserver":
+                ctx.set_forkserver_preload(["repro.core"])
+            return ctx
+    raise ValueError(
+        f"no usable start method in {order}; platform offers {methods}"
+    )
+
+
+def _execute_indexed(item: Tuple[int, dict]) -> Tuple[int, dict]:
+    """Pool target: run one index-tagged payload, return the tag with it."""
+    index, payload = item
+    return index, execute_payload(payload)
+
+
+def _shutdown_pool(pool) -> None:
+    """Finalizer: stop a pool's workers immediately (results are in)."""
+    pool.terminate()
+    pool.join()
 
 
 class CampaignRunner:
-    """Runs simulation cells over a process pool with an optional cache."""
+    """Runs simulation cells over a persistent pool with an optional cache."""
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
         if jobs < 1:
@@ -41,6 +92,37 @@ class CampaignRunner:
         self.cache = cache
         #: Cells actually simulated (cache misses) over this runner's life.
         self.simulated = 0
+        self._pool = None
+        self._pool_finalizer = None
+
+    # ---------------------------------------------------------------- #
+    # pool lifecycle                                                   #
+    # ---------------------------------------------------------------- #
+
+    def _ensure_pool(self):
+        """The persistent worker pool, spawned on first parallel batch."""
+        if self._pool is None:
+            ctx = _pool_context()
+            self._pool = ctx.Pool(processes=self.jobs)
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool and flush the cache manifest."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # terminate + join; idempotent
+            self._pool_finalizer = None
+        self._pool = None
+        if self.cache is not None:
+            self.cache.close()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ---------------------------------------------------------------- #
     # simulation cells                                                 #
@@ -48,36 +130,82 @@ class CampaignRunner:
 
     def run_sims(self, sim_jobs: Sequence[SimJob]) -> List[SimRecord]:
         """Execute (or recall) every cell; records in submission order."""
-        n = len(sim_jobs)
-        records: List[Optional[SimRecord]] = [None] * n
-        keys = [cache_key(j) for j in sim_jobs]
+        jobs = list(sim_jobs)
+        records: List[Optional[SimRecord]] = [None] * len(jobs)
+        for i, record in self.run_sims_iter(jobs):
+            records[i] = record
+        return records  # type: ignore[return-value]
 
-        # Resolve cache hits and dedupe identical cells within the batch.
-        first_index: Dict[str, int] = {}
+    def run_sims_iter(
+        self, sim_jobs: Sequence[SimJob]
+    ) -> Iterator[Tuple[int, SimRecord]]:
+        """Yield ``(index, record)`` as cells complete.
+
+        Cache hits come first (in submission order); misses follow in
+        *completion* order as the pool finishes them — each one is
+        written to the cache and handed to the caller immediately, so
+        aggregation and checkpointing overlap simulation.  Use
+        :meth:`run_sims_ordered` when the consumer needs submission
+        order with streaming memory behaviour.
+
+        The cache manifest is synced when the batch completes *and* on
+        the error path, so every finished cell survives a mid-batch
+        crash (the checkpoint/resume contract).
+        """
+        jobs = list(sim_jobs)
+        keys = [cache_key(job) for job in jobs]
+
+        hits: Dict[str, dict] = {}
+        if self.cache is not None:
+            hits = self.cache.get_many(keys)
+
+        #: every submission index waiting on each still-missing key
+        waiters: Dict[str, List[int]] = {}
         to_run: List[int] = []
         for i, key in enumerate(keys):
-            if self.cache is not None:
-                hit = self.cache.get(key)
-                if hit is not None:
-                    records[i] = SimRecord.from_dict(hit)
-                    continue
-            if key in first_index:
-                continue  # duplicate of a pending cell
-            first_index[key] = i
-            to_run.append(i)
+            if key in hits:
+                continue
+            if key not in waiters:
+                to_run.append(i)
+            waiters.setdefault(key, []).append(i)
 
-        outputs = self._map([sim_jobs[i].payload() for i in to_run])
-        self.simulated += len(outputs)
-        by_key: Dict[str, SimRecord] = {}
-        for i, out in zip(to_run, outputs):
-            record = SimRecord.from_dict(out)
-            by_key[keys[i]] = record
+        for i, key in enumerate(keys):
+            if key in hits:
+                yield i, SimRecord.from_dict(hits[key])
+
+        if not to_run:
+            return
+        try:
+            items = [(i, jobs[i].payload()) for i in to_run]
+            for first_index, output in self._imap_unordered(items):
+                self.simulated += 1
+                key = keys[first_index]
+                if self.cache is not None:
+                    self.cache.put(key, output)
+                record = SimRecord.from_dict(output)
+                for waiter in waiters[key]:
+                    yield waiter, record
+        finally:
             if self.cache is not None:
-                self.cache.put(keys[i], out)
-        for i in range(n):
-            if records[i] is None:
-                records[i] = by_key[keys[i]]
-        return records  # type: ignore[return-value]
+                self.cache.sync()
+
+    def run_sims_ordered(
+        self, sim_jobs: Sequence[SimJob]
+    ) -> Iterator[Tuple[int, SimRecord]]:
+        """Stream records in submission order.
+
+        A reorder buffer holds results that complete ahead of the next
+        unyielded index; its size is bounded by the pool's pipelining
+        skew (roughly ``jobs x chunksize``) in cold or fully-warm runs,
+        not by the campaign size.
+        """
+        reorder: Dict[int, SimRecord] = {}
+        next_index = 0
+        for i, record in self.run_sims_iter(sim_jobs):
+            reorder[i] = record
+            while next_index in reorder:
+                yield next_index, reorder.pop(next_index)
+                next_index += 1
 
     # ---------------------------------------------------------------- #
     # timing cells (never cached)                                      #
@@ -92,17 +220,37 @@ class CampaignRunner:
     # execution backends                                               #
     # ---------------------------------------------------------------- #
 
+    def _chunksize(self, n: int) -> int:
+        """Two chunks per worker, capped so huge batches still pipeline."""
+        override = os.environ.get("REPRO_CHUNKSIZE", "").strip()
+        if override:
+            return max(int(override), 1)
+        return max(1, min(32, n // (self.jobs * 2)))
+
+    def _imap_unordered(
+        self, items: List[Tuple[int, dict]]
+    ) -> Iterator[Tuple[int, dict]]:
+        """Index-tagged payloads -> (index, output), completion order."""
+        if self.jobs <= 1 or len(items) <= 1:
+            for item in items:
+                yield _execute_indexed(item)
+            return
+        pool = self._ensure_pool()
+        yield from pool.imap_unordered(
+            _execute_indexed, items, chunksize=self._chunksize(len(items))
+        )
+
     def _map(self, payloads: List[dict]) -> List[dict]:
         if not payloads:
             return []
-        workers = min(self.jobs, len(payloads))
-        if workers <= 1:
+        if self.jobs <= 1 or len(payloads) <= 1:
             return [execute_payload(p) for p in payloads]
-        chunksize = max(1, len(payloads) // (workers * 4))
-        ctx = _pool_context()
-        with ctx.Pool(processes=workers) as pool:
-            return pool.map(execute_payload, payloads, chunksize=chunksize)
+        pool = self._ensure_pool()
+        return pool.map(
+            execute_payload, payloads, chunksize=self._chunksize(len(payloads))
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = self.cache.root if self.cache else "off"
-        return f"<CampaignRunner jobs={self.jobs} cache={where}>"
+        alive = "up" if self._pool is not None else "idle"
+        return f"<CampaignRunner jobs={self.jobs} pool={alive} cache={where}>"

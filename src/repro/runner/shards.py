@@ -1,0 +1,173 @@
+"""Append-only JSONL shard sink for streaming campaign records.
+
+Large campaigns cannot hold every :class:`~repro.runner.record.SimRecord`
+in memory, and a single giant output file is hostile to both resume and
+post-hoc analysis.  :class:`ShardWriter` appends ``(index, record)``
+pairs to a sequence of JSONL *shards* that rotate at a configurable
+record count, so the peak memory of the sink is one line and readers can
+process a campaign shard-by-shard.
+
+Format (one JSON document per line):
+
+* line 1 of every shard — the header
+  ``{"schema": "repro.shards/v1", "shard": <ordinal>}``;
+* every following line — ``{"i": <submission index>, "r": <record>}``.
+
+Records arrive in completion order (the runner's
+:meth:`~repro.runner.pool.CampaignRunner.run_sims_iter` contract), so
+line order within a shard is *not* submission order; the embedded ``i``
+is authoritative.  :func:`iter_shard_records` replays every shard in
+ordinal order and tolerates a torn final line (a writer killed
+mid-append), which makes the sink safe to re-read after a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Bump when the line format changes incompatibly.
+SHARD_SCHEMA = "repro.shards/v1"
+
+_SHARD_DIGITS = 5
+
+
+def _shard_name(prefix: str, ordinal: int) -> str:
+    return f"{prefix}-{ordinal:0{_SHARD_DIGITS}d}.jsonl"
+
+
+class ShardWriter:
+    """Rotating append-only JSONL sink for ``(index, record)`` pairs."""
+
+    def __init__(
+        self,
+        root: str,
+        prefix: str = "records",
+        records_per_shard: int = 50_000,
+        flush_every: int = 256,
+    ) -> None:
+        if records_per_shard < 1:
+            raise ValueError("records_per_shard must be >= 1")
+        self.root = root
+        self.prefix = prefix
+        self.records_per_shard = records_per_shard
+        self.flush_every = max(1, flush_every)
+        #: Records appended over this writer's lifetime.
+        self.written = 0
+        self._shard_ordinal = self._next_ordinal()
+        self._in_shard = 0
+        self._since_flush = 0
+        self._fh = None
+
+    def _next_ordinal(self) -> int:
+        """First unused shard ordinal (appends never rewrite a shard)."""
+        if not os.path.isdir(self.root):
+            return 0
+        taken = [
+            name
+            for name in os.listdir(self.root)
+            if name.startswith(self.prefix + "-") and name.endswith(".jsonl")
+        ]
+        ordinals = []
+        for name in taken:
+            stem = name[len(self.prefix) + 1 : -len(".jsonl")]
+            if stem.isdigit():
+                ordinals.append(int(stem))
+        return max(ordinals) + 1 if ordinals else 0
+
+    def _ensure_shard(self):
+        if self._fh is None:
+            os.makedirs(self.root, exist_ok=True)
+            path = os.path.join(self.root, _shard_name(self.prefix, self._shard_ordinal))
+            self._fh = open(path, "a", encoding="utf-8")
+            if self._fh.tell() == 0:
+                header = {"schema": SHARD_SCHEMA, "shard": self._shard_ordinal}
+                self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        return self._fh
+
+    def append(self, index: int, record: Dict[str, Any]) -> None:
+        """Append one record; rotates to a fresh shard when the current fills."""
+        fh = self._ensure_shard()
+        fh.write(
+            json.dumps({"i": index, "r": record}, sort_keys=True) + "\n"
+        )
+        self.written += 1
+        self._in_shard += 1
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            fh.flush()
+            self._since_flush = 0
+        if self._in_shard >= self.records_per_shard:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+        self._shard_ordinal += 1
+        self._in_shard = 0
+        self._since_flush = 0
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def shard_paths(root: str, prefix: str = "records") -> List[str]:
+    """Every shard under ``root``, in ordinal (write) order."""
+    if not os.path.isdir(root):
+        return []
+    names = sorted(
+        name
+        for name in os.listdir(root)
+        if name.startswith(prefix + "-") and name.endswith(".jsonl")
+    )
+    return [os.path.join(root, name) for name in names]
+
+
+def iter_shard_records(
+    root: str, prefix: str = "records"
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Replay ``(index, record)`` pairs from every shard, in write order.
+
+    Skips shards whose header announces an unknown schema and tolerates
+    one torn trailing line per shard (a writer killed mid-append) —
+    everything before the tear replays normally.
+    """
+    for path in shard_paths(root, prefix):
+        with open(path, encoding="utf-8") as fh:
+            header: Optional[Dict[str, Any]] = None
+            for lineno, line in enumerate(fh):
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    break  # torn tail: a crashed writer's final append
+                if lineno == 0:
+                    header = doc if isinstance(doc, dict) else None
+                    if header is None or header.get("schema") != SHARD_SCHEMA:
+                        break  # foreign file; never guess at its layout
+                    continue
+                if not isinstance(doc, dict) or "i" not in doc or "r" not in doc:
+                    break
+                yield int(doc["i"]), doc["r"]

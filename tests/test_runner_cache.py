@@ -1,4 +1,4 @@
-"""On-disk result cache: round trips, corruption tolerance, accounting."""
+"""Shard-indexed result cache: round trips, durability, accounting, GC."""
 
 from __future__ import annotations
 
@@ -7,15 +7,26 @@ import os
 
 import pytest
 
-from repro.runner.cache import ResultCache
+from repro.runner.cache import INDEX_SCHEMA, ResultCache
 
 KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
 RECORD = {"makespan": 1.5, "success": True}
 
 
 @pytest.fixture
 def cache(tmp_path):
     return ResultCache(str(tmp_path / "cache"))
+
+
+def _corrupt_entry(cache: ResultCache, key: str) -> None:
+    """Scribble over the packed bytes of one entry on disk."""
+    cache.sync()
+    pack_rel, offset, length = cache._load_index()[key]
+    path = os.path.join(cache.root, pack_rel)
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        fh.write(b"x" * min(length, 8))
 
 
 def test_get_on_empty_cache_is_a_miss(cache):
@@ -33,61 +44,199 @@ def test_put_then_get_round_trips(cache):
     assert cache.stats.hits == 1
 
 
-def test_entries_are_sharded_two_level(cache):
-    """Entry files live under a two-hex-char shard directory."""
+def test_entries_are_packed_and_indexed(cache):
+    """Records append to a pack file; sync writes the manifest."""
     cache.put(KEY, RECORD)
-    assert os.path.exists(os.path.join(cache.root, "ab", f"{KEY}.json"))
+    cache.sync()
+    packs = os.listdir(os.path.join(cache.root, "packs"))
+    assert len(packs) == 1 and packs[0].startswith("pack-")
+    with open(cache.index_path, encoding="utf-8") as fh:
+        lines = [json.loads(line) for line in fh]
+    assert lines[0] == {"schema": INDEX_SCHEMA}
+    assert lines[1]["k"] == KEY
+    assert lines[1]["p"] == os.path.join("packs", packs[0])
 
 
 def test_short_key_is_rejected(cache):
-    """Keys must be long enough to shard."""
+    """Keys must be long enough to shard (legacy path contract)."""
     with pytest.raises(ValueError):
         cache.path_for("ab")
 
 
-def test_corrupt_entry_reads_as_miss(cache):
-    """Truncated JSON is a miss + error, never an exception."""
+def test_cache_survives_reopen(cache):
+    """A second process (fresh instance) reads synced entries."""
     cache.put(KEY, RECORD)
-    with open(cache.path_for(KEY), "w", encoding="utf-8") as fh:
-        fh.write('{"key": "ab')  # truncated
-    assert cache.get(KEY) is None
-    assert cache.stats.errors == 1
+    cache.close()
+    again = ResultCache(cache.root)
+    assert again.get(KEY) == RECORD
+    assert len(again) == 1
+
+
+def test_corrupt_entry_reads_as_miss(cache):
+    """Scribbled pack bytes are a miss + error, never an exception."""
+    cache.put(KEY, RECORD)
+    _corrupt_entry(cache, KEY)
+    again = ResultCache(cache.root)
+    assert again.get(KEY) is None
+    assert again.stats.errors == 1
+    assert again.stats.misses == 1
+
+
+def test_corrupt_manifest_line_is_skipped(cache):
+    """A truncated manifest line (crashed writer) loses only that entry."""
+    cache.put(KEY, RECORD)
+    cache.put(KEY2, RECORD)
+    cache.close()
+    with open(cache.index_path, "a", encoding="utf-8") as fh:
+        fh.write('{"k": "ef')  # torn final append
+    again = ResultCache(cache.root)
+    assert again.get(KEY) == RECORD
+    assert again.get(KEY2) == RECORD
+    assert again.stats.errors == 1  # the torn line
 
 
 def test_entry_with_wrong_embedded_key_reads_as_miss(cache):
-    """An entry whose embedded key mismatches its path is rejected."""
+    """An entry whose embedded key mismatches its manifest key is rejected."""
     cache.put(KEY, RECORD)
-    with open(cache.path_for(KEY), "w", encoding="utf-8") as fh:
-        json.dump({"key": "cd" + "0" * 62, "record": RECORD}, fh)
-    assert cache.get(KEY) is None
-    assert cache.stats.errors == 1
+    cache.sync()
+    pack_rel, offset, length = cache._load_index()[KEY]
+    # Point a different key's manifest line at KEY's bytes.
+    with open(cache.index_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(
+            {"k": KEY2, "p": pack_rel, "o": offset, "n": length}
+        ) + "\n")
+    cache.close()
+    again = ResultCache(cache.root)
+    assert again.get(KEY2) is None
+    assert again.stats.errors == 1
 
 
 def test_overwrite_replaces_entry(cache):
-    """Re-putting a key atomically replaces the stored record."""
+    """Re-putting a key replaces the stored record (last write wins)."""
     cache.put(KEY, RECORD)
     cache.put(KEY, {"makespan": 9.0, "success": False})
     assert cache.get(KEY)["makespan"] == 9.0
     assert len(cache) == 1
+    # ... including across a reopen (manifest order decides).
+    cache.close()
+    assert ResultCache(cache.root).get(KEY)["makespan"] == 9.0
 
 
-def test_len_counts_entries_not_temp_files(cache):
-    """__len__ ignores stray temp files from interrupted writes."""
+def test_get_many_batches_lookups(cache):
+    """get_many returns every hit and counts stats per unique key."""
     cache.put(KEY, RECORD)
-    cache.put("cd" + "1" * 62, RECORD)
-    shard = os.path.join(cache.root, "ab")
-    with open(os.path.join(shard, ".tmp-zzz.json"), "w") as fh:
+    cache.put(KEY2, {"makespan": 2.0})
+    missing = "ef" + "2" * 62
+    out = cache.get_many([KEY, KEY2, KEY, missing])
+    assert out == {KEY: RECORD, KEY2: {"makespan": 2.0}}
+    assert cache.stats.hits == 2
+    assert cache.stats.misses == 1
+
+
+def test_len_is_manifest_count_not_a_walk(cache):
+    """__len__ comes from the index; stray temp files don't count."""
+    cache.put(KEY, RECORD)
+    cache.put(KEY2, RECORD)
+    os.makedirs(cache.packs_path, exist_ok=True)
+    with open(os.path.join(cache.packs_path, ".tmp-zzz.jsonl"), "w") as fh:
         fh.write("{}")
     assert len(cache) == 2
 
 
-def test_clear_removes_everything(cache):
-    """clear() empties the store and reports the count."""
+def test_legacy_per_file_entries_remain_readable(cache):
+    """Pre-pack ab/<key>.json entries hit on index miss and count in len."""
+    path = cache.path_for(KEY)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"key": KEY, "record": RECORD}, fh)
+    assert cache.get(KEY) == RECORD
+    assert cache.stats.hits == 1
+    assert len(cache) == 1
+    assert cache.get_many([KEY]) == {KEY: RECORD}
+
+
+def test_clear_removes_everything_including_orphans(cache):
+    """clear() empties packs, manifest, legacy entries and .tmp-* litter."""
     cache.put(KEY, RECORD)
-    cache.put("cd" + "1" * 62, RECORD)
-    assert cache.clear() >= 2
+    legacy = cache.path_for(KEY2)
+    os.makedirs(os.path.dirname(legacy), exist_ok=True)
+    with open(legacy, "w", encoding="utf-8") as fh:
+        json.dump({"key": KEY2, "record": RECORD}, fh)
+    orphan = os.path.join(os.path.dirname(legacy), ".tmp-dead.json")
+    with open(orphan, "w") as fh:
+        fh.write("{")
+    assert cache.clear() == 2
     assert len(cache) == 0
     assert cache.get(KEY) is None
+    assert not os.path.exists(orphan)
+    assert not os.path.exists(cache.index_path)
+
+
+def test_gc_tmp_removes_stale_temp_files(cache):
+    """gc_tmp() reclaims crashed writers' temp files, nothing else."""
+    cache.put(KEY, RECORD)
+    cache.sync()
+    stray = os.path.join(cache.root, ".tmp-index.jsonl")
+    with open(stray, "w") as fh:
+        fh.write("{}")
+    assert cache.gc_tmp() == 1
+    assert not os.path.exists(stray)
+    assert cache.get(KEY) == RECORD
+
+
+def test_evict_to_drops_oldest_packs(tmp_path):
+    """Size-bounded eviction removes whole packs and rewrites the manifest."""
+    cache = ResultCache(str(tmp_path / "cache"), pack_max_bytes=1)
+    # pack_max_bytes=1 rotates after every put: one pack per entry.
+    keys = [f"{i:02x}" + "f" * 62 for i in range(4)]
+    for i, key in enumerate(keys):
+        cache.put(key, {"makespan": float(i)})
+    cache.close()
+    assert len(os.listdir(cache.packs_path)) == 4
+    evicted = cache.evict_to(0)
+    assert evicted == 4
+    assert len(cache) == 0
+    # Manifest was rewritten, not deleted: reopen sees an empty cache.
+    again = ResultCache(cache.root)
+    assert len(again) == 0
+
+
+def test_evict_to_partial_keeps_survivors_readable(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"), pack_max_bytes=1)
+    keys = [f"{i:02x}" + "e" * 62 for i in range(4)]
+    for i, key in enumerate(keys):
+        cache.put(key, {"makespan": float(i)})
+    cache.close()
+    sizes = sorted(
+        os.path.getsize(os.path.join(cache.packs_path, f))
+        for f in os.listdir(cache.packs_path)
+    )
+    evicted = cache.evict_to(sum(sizes[:2]))
+    assert evicted == 2
+    survivors = ResultCache(cache.root)
+    assert len(survivors) == 2
+    remaining = [k for k in keys if survivors.get(k) is not None]
+    assert len(remaining) == 2
+
+
+def test_sync_every_checkpoints_automatically(tmp_path):
+    """Every sync_every-th put flushes the manifest without an explicit sync."""
+    cache = ResultCache(str(tmp_path / "cache"), sync_every=2)
+    cache.put(KEY, RECORD)
+    assert not os.path.exists(cache.index_path)  # pending
+    cache.put(KEY2, RECORD)
+    fresh = ResultCache(cache.root)  # simulated crash: no close()
+    assert len(fresh) == 2
+    assert fresh.get(KEY) == RECORD
+
+
+def test_unsynced_entries_lost_on_crash_simply_re_simulate(tmp_path):
+    """Entries pending since the last sync read as misses after a crash."""
+    cache = ResultCache(str(tmp_path / "cache"), sync_every=100)
+    cache.put(KEY, RECORD)
+    fresh = ResultCache(cache.root)  # crash before any sync
+    assert fresh.get(KEY) is None
+    assert fresh.stats.misses == 1
 
 
 def test_len_of_nonexistent_root_is_zero(cache):

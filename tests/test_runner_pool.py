@@ -112,6 +112,78 @@ def test_empty_batch_is_a_noop():
     assert runner.run_timings([]) == []
 
 
+def test_persistent_pool_is_reused_across_batches():
+    """The pool spawns once and serves every subsequent parallel batch."""
+    with CampaignRunner(jobs=2) as runner:
+        assert runner._pool is None  # lazily spawned
+        runner.run_sims(_jobs())
+        pool = runner._pool
+        assert pool is not None
+        runner.run_sims(_jobs(seed=6))
+        assert runner._pool is pool  # same workers, no respawn
+
+
+def test_close_releases_the_pool_and_cache(tmp_path):
+    """close() tears down workers and flushes the cache; it is idempotent."""
+    runner = CampaignRunner(jobs=2, cache=ResultCache(str(tmp_path)))
+    jobs = _jobs()
+    runner.run_sims(jobs)
+    assert runner._pool is not None
+    runner.close()
+    assert runner._pool is None
+    runner.close()  # idempotent
+    # Everything the run produced was synced to the shard index.
+    warm = CampaignRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    assert warm.run_sims(jobs) and warm.simulated == 0
+
+
+def test_context_manager_closes_on_exit():
+    with CampaignRunner(jobs=2) as runner:
+        runner.run_sims(_jobs())
+        assert runner._pool is not None
+    assert runner._pool is None
+
+
+def test_run_sims_iter_streams_every_index_once(tmp_path):
+    """The streaming iterator yields each submission index exactly once."""
+    jobs = _jobs()
+    runner = CampaignRunner(jobs=2, cache=ResultCache(str(tmp_path)))
+    seen = dict(runner.run_sims_iter(jobs))
+    assert sorted(seen) == list(range(len(jobs)))
+    # A warm streaming pass yields the identical records (hits first).
+    warm = CampaignRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    assert dict(warm.run_sims_iter(jobs)) == seen
+    assert warm.simulated == 0
+
+
+def test_run_sims_ordered_yields_submission_order():
+    jobs = _jobs()
+    with CampaignRunner(jobs=2) as runner:
+        indexes = [i for i, _ in runner.run_sims_ordered(jobs)]
+    assert indexes == list(range(len(jobs)))
+
+
+def test_streaming_matches_batch_records():
+    """run_sims / run_sims_iter / run_sims_ordered agree record-for-record."""
+    jobs = _jobs()
+    batch = CampaignRunner(jobs=1).run_sims(jobs)
+    with CampaignRunner(jobs=2) as runner:
+        streamed = dict(runner.run_sims_iter(jobs))
+        ordered = list(runner.run_sims_ordered(jobs))
+    assert [streamed[i] for i in range(len(jobs))] == batch
+    assert [r for _, r in ordered] == batch
+
+
+def test_chunksize_env_override(monkeypatch):
+    """REPRO_CHUNKSIZE forces the dispatch chunk size; default is adaptive."""
+    runner = CampaignRunner(jobs=4)
+    assert runner._chunksize(256) == max(1, min(32, 256 // 8))
+    monkeypatch.setenv("REPRO_CHUNKSIZE", "7")
+    assert runner._chunksize(256) == 7
+    monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+    assert runner._chunksize(256) == 1  # clamped to a sane floor
+
+
 def test_use_runner_scopes_the_active_runner():
     """use_runner installs and restores the ambient runner."""
     outer = get_runner()

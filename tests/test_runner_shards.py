@@ -1,0 +1,117 @@
+"""JSONL shard sink: headers, rotation, replay, crash tolerance."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runner.shards import (
+    SHARD_SCHEMA,
+    ShardWriter,
+    iter_shard_records,
+    shard_paths,
+)
+
+RECORD = {"makespan": 1.5, "success": True}
+
+
+def test_append_then_replay_round_trips(tmp_path):
+    root = str(tmp_path / "shards")
+    with ShardWriter(root) as writer:
+        writer.append(0, RECORD)
+        writer.append(1, {"makespan": 2.0})
+    assert list(iter_shard_records(root)) == [
+        (0, RECORD),
+        (1, {"makespan": 2.0}),
+    ]
+
+
+def test_every_shard_starts_with_schema_header(tmp_path):
+    root = str(tmp_path / "shards")
+    with ShardWriter(root, records_per_shard=2) as writer:
+        for i in range(5):
+            writer.append(i, RECORD)
+    paths = shard_paths(root)
+    assert len(paths) == 3  # 2 + 2 + 1
+    for ordinal, path in enumerate(paths):
+        with open(path, encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+        assert header == {"schema": SHARD_SCHEMA, "shard": ordinal}
+
+
+def test_rotation_preserves_order_across_shards(tmp_path):
+    root = str(tmp_path / "shards")
+    with ShardWriter(root, records_per_shard=3) as writer:
+        for i in range(10):
+            writer.append(i, {"v": float(i)})
+    got = list(iter_shard_records(root))
+    assert [i for i, _ in got] == list(range(10))
+    assert writer.written == 10
+
+
+def test_completion_order_indexes_are_preserved_verbatim(tmp_path):
+    """The sink stores whatever indexes arrive; 'i' is authoritative."""
+    root = str(tmp_path / "shards")
+    with ShardWriter(root) as writer:
+        for i in (3, 0, 2, 1):
+            writer.append(i, {"v": float(i)})
+    assert [i for i, _ in iter_shard_records(root)] == [3, 0, 2, 1]
+
+
+def test_reopened_writer_starts_a_fresh_shard(tmp_path):
+    """A resumed campaign appends new shards, never rewrites old ones."""
+    root = str(tmp_path / "shards")
+    with ShardWriter(root) as writer:
+        writer.append(0, RECORD)
+    with ShardWriter(root) as writer:
+        writer.append(1, RECORD)
+    paths = shard_paths(root)
+    assert len(paths) == 2
+    assert [i for i, _ in iter_shard_records(root)] == [0, 1]
+
+
+def test_torn_trailing_line_is_tolerated(tmp_path):
+    """A writer killed mid-append loses only the torn record."""
+    root = str(tmp_path / "shards")
+    with ShardWriter(root) as writer:
+        writer.append(0, RECORD)
+        writer.append(1, RECORD)
+    path = shard_paths(root)[0]
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"i": 2, "r": {"makesp')  # killed mid-write
+    assert [i for i, _ in iter_shard_records(root)] == [0, 1]
+
+
+def test_foreign_file_with_wrong_schema_is_skipped(tmp_path):
+    root = str(tmp_path / "shards")
+    os.makedirs(root)
+    with open(os.path.join(root, "records-00000.jsonl"), "w") as fh:
+        fh.write('{"schema": "someone-elses/v9"}\n{"i": 0, "r": {}}\n')
+    with ShardWriter(root) as writer:
+        writer.append(7, RECORD)
+    assert list(iter_shard_records(root)) == [(7, RECORD)]
+
+
+def test_empty_or_missing_root_replays_nothing(tmp_path):
+    assert list(iter_shard_records(str(tmp_path / "nope"))) == []
+    assert shard_paths(str(tmp_path / "nope")) == []
+
+
+def test_flush_every_makes_records_durable_without_close(tmp_path):
+    root = str(tmp_path / "shards")
+    writer = ShardWriter(root, flush_every=2)
+    writer.append(0, RECORD)
+    writer.append(1, RECORD)  # triggers flush
+    writer.append(2, RECORD)  # buffered
+    # Simulated crash: read the file without closing the writer.
+    durable = [i for i, _ in iter_shard_records(root)]
+    assert durable[:2] == [0, 1]
+    writer.close()
+    assert [i for i, _ in iter_shard_records(root)] == [0, 1, 2]
+
+
+def test_records_per_shard_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        ShardWriter(str(tmp_path), records_per_shard=0)

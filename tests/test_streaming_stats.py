@@ -1,0 +1,109 @@
+"""Streaming aggregators agree with their batch counterparts."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stats import (
+    StreamingGeomean,
+    StreamingSummary,
+    geometric_mean,
+    summarize,
+)
+
+REL = 1e-12
+
+
+def _series(n: int, seed: int, lo: float = 0.1, hi: float = 100.0):
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+@pytest.mark.parametrize("n,seed", [(2, 0), (7, 1), (100, 2), (1000, 3)])
+def test_streaming_summary_matches_summarize(n, seed):
+    """Welford agrees with the two-pass numpy summary to 1e-12 relative."""
+    values = _series(n, seed)
+    batch = summarize(values)
+    stream = StreamingSummary()
+    stream.extend(values)
+    got = stream.result()
+    assert got.n == batch.n
+    assert got.mean == pytest.approx(batch.mean, rel=REL)
+    assert got.std == pytest.approx(batch.std, rel=REL, abs=REL)
+    assert got.ci95 == pytest.approx(batch.ci95, rel=REL, abs=REL)
+    assert got.minimum == batch.minimum
+    assert got.maximum == batch.maximum
+
+
+def test_streaming_summary_single_element():
+    """One sample: zero spread, value everywhere — exactly like summarize."""
+    stream = StreamingSummary()
+    stream.add(3.25)
+    got = stream.result()
+    batch = summarize([3.25])
+    assert got == batch
+    assert got.std == 0.0 and got.ci95 == 0.0
+    assert got.minimum == got.maximum == got.mean == 3.25
+
+
+def test_streaming_summary_constant_series():
+    """A constant series must not round std below zero (sqrt domain)."""
+    stream = StreamingSummary()
+    stream.extend([0.1] * 1000)
+    got = stream.result()
+    batch = summarize([0.1] * 1000)
+    assert got.mean == pytest.approx(batch.mean, rel=REL)
+    assert got.std == pytest.approx(0.0, abs=1e-12)
+    assert got.minimum == got.maximum == 0.1
+
+
+def test_streaming_summary_empty_raises():
+    with pytest.raises(ValueError):
+        StreamingSummary().result()
+
+
+def test_streaming_summary_order_insensitive_to_tolerance():
+    """Completion-order feeds agree with submission order to tolerance."""
+    values = _series(500, seed=7)
+    fwd, rev = StreamingSummary(), StreamingSummary()
+    fwd.extend(values)
+    rev.extend(reversed(values))
+    assert fwd.result().mean == pytest.approx(rev.result().mean, rel=REL)
+    assert fwd.result().std == pytest.approx(rev.result().std, rel=REL)
+
+
+@pytest.mark.parametrize("n,seed", [(1, 4), (13, 5), (1000, 6)])
+def test_streaming_geomean_matches_batch(n, seed):
+    values = _series(n, seed)
+    stream = StreamingGeomean()
+    stream.extend(values)
+    assert stream.result() == pytest.approx(geometric_mean(values), rel=REL)
+
+
+def test_streaming_geomean_constant_series():
+    stream = StreamingGeomean()
+    stream.extend([2.5] * 64)
+    assert stream.result() == pytest.approx(2.5, rel=REL)
+
+
+def test_streaming_geomean_rejects_nonpositive():
+    stream = StreamingGeomean()
+    with pytest.raises(ValueError):
+        stream.add(0.0)
+    with pytest.raises(ValueError):
+        stream.add(-1.0)
+
+
+def test_streaming_geomean_empty_raises():
+    with pytest.raises(ValueError):
+        StreamingGeomean().result()
+
+
+def test_streaming_memory_is_constant():
+    """The accumulators hold a fixed set of slots, never the series."""
+    assert not hasattr(StreamingSummary(), "__dict__")
+    assert not hasattr(StreamingGeomean(), "__dict__")
+    assert math.isinf(StreamingSummary().minimum)
