@@ -23,6 +23,10 @@ run into a small, schema-versioned set of tracked series:
 * ``runner.peak_rss_mb``            — peak resident set of the report
   process (larger = worse; never calibration-normalized — memory does
   not scale with host speed).
+* ``runner.retry_overhead_pct``     — percent wall overhead of a campaign
+  with 5% injected transient failures retried to success over the same
+  campaign clean (larger = worse; gated with an absolute slack because
+  percent series hover near zero).
 * ``sanitizer.overhead_pct``        — wall-time overhead of running one
   fixed cell with the simulation sanitizer attached (informational).
 * ``calibration.probe_s``           — wall time of a fixed pure-Python
@@ -67,7 +71,12 @@ GATED_WALL_SERIES = (
 )
 
 #: Gated absolute series where larger = worse (never normalized).
-GATED_LARGER_WORSE_SERIES = ("runner.peak_rss_mb",)
+GATED_LARGER_WORSE_SERIES = ("runner.peak_rss_mb", "runner.retry_overhead_pct")
+
+#: Absolute slack (in the series' own unit, i.e. percentage points) for
+#: gated ``*_pct`` series: relative tolerance alone would gate on noise
+#: when the reference hovers near zero.
+PCT_SERIES_SLACK = 5.0
 
 
 def _git_sha() -> str:
@@ -209,9 +218,56 @@ def runner_throughput(jobs: int) -> Dict[str, float]:
     }
 
 
+def retry_overhead_pct(jobs: int) -> float:
+    """Percent wall overhead of the fault-tolerant retry path.
+
+    Runs one 256-cell campaign through fresh uncached runners (so both
+    passes simulate every cell): a clean pass, then a pass with 5%
+    deterministically injected transient failures retried to success
+    under ``max_retries=2`` (min of 3 each).  The delta prices failure
+    capture plus the retry rounds, not the failures themselves — every
+    injected fault clears on its retry.
+    """
+    from repro.experiments.common import make_job
+    from repro.platform import presets
+    from repro.runner.pool import CampaignRunner
+    from repro.runner.specs import factory_spec
+    from repro.workflows.generators import random_dag
+    from repro.workflows.serialize import workflow_to_dict
+
+    doc = workflow_to_dict(random_dag(size=8, seed=5))
+    cluster = factory_spec(
+        presets.hybrid_cluster, nodes=2, cores_per_node=2, gpus_per_node=1
+    )
+    cells = [
+        make_job(doc, cluster, scheduler="heft", seed=i, noise_cv=0.05,
+                 label=f"retrybench:{i}")
+        for i in range(256)
+    ]
+
+    def pass_wall(runner) -> float:
+        t0 = time.perf_counter()
+        for _ in runner.run_sims_iter(cells):
+            pass
+        return time.perf_counter() - t0
+
+    with CampaignRunner(jobs=jobs) as runner:
+        clean = min(pass_wall(runner) for _ in range(3))
+    os.environ["REPRO_FAIL_INJECT"] = json.dumps({"rate": 0.05, "seed": 9})
+    try:
+        with CampaignRunner(
+            jobs=jobs, max_retries=2, failure_mode="record"
+        ) as runner:
+            injected = min(pass_wall(runner) for _ in range(3))
+    finally:
+        os.environ.pop("REPRO_FAIL_INJECT", None)
+    return 100.0 * (injected - clean) / clean if clean > 0 else 0.0
+
+
 def build_report(jobs: int) -> Dict[str, object]:
     series = run_grid(jobs)
     series.update(runner_throughput(jobs))
+    series["runner.retry_overhead_pct"] = retry_overhead_pct(jobs)
     series["sanitizer.overhead_pct"] = sanitizer_overhead_pct()
     series["calibration.probe_s"] = calibration_probe()
     return {
@@ -251,8 +307,13 @@ def check_against(report: Dict[str, object], baseline: Dict[str, object],
         ref = base[name] * (speed if normalized else 1.0)
         val = cur[name]
         if gated or larger_worse:
-            # Makespans and memory: worse = larger.
-            regressed = val > ref * (1.0 + tolerance)
+            # Makespans and memory: worse = larger.  Percent-overhead
+            # series additionally get an absolute slack, since their
+            # reference can sit near zero.
+            limit = ref * (1.0 + tolerance)
+            if name.endswith("_pct"):
+                limit = max(limit, ref + PCT_SERIES_SLACK)
+            regressed = val > limit
         else:
             # Throughput: worse = smaller.
             regressed = val < ref * (1.0 - tolerance)

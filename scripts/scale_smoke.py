@@ -19,6 +19,17 @@ directory, and asserts:
   aggregates, with peak RSS below ``--rss-limit-mb``;
 * a schema-versioned JSON artifact records both passes for the CI log.
 
+The driver then runs an **injected-failure pass** against a fresh cache:
+``--inject-rate`` seeds deterministic transient faults (failed first
+attempts that a retry clears) and ``--poison-cells`` marks cells that
+fail permanently on every attempt.  The campaign runs unattended through
+:meth:`CampaignRunner.run_batches` (health-gated feed-ahead admission)
+and must finish with every surviving cell completed, exactly the poison
+cells quarantined, gate decisions on the event log, and RSS still flat.
+A resume of the same campaign must recall every verdict from the cache —
+zero re-simulations, and quarantined cells recalled (not re-failed, not
+double-counted in the checkpoint-window accounting).
+
 Usage::
 
     python scripts/scale_smoke.py --cells 5000 --jobs 2 --out bench_out/scale_smoke.json
@@ -30,6 +41,7 @@ import argparse
 import json
 import os
 import resource
+import shutil
 import subprocess
 import sys
 import time
@@ -38,7 +50,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "repro.scale-smoke/v1"
+SCHEMA = "repro.scale-smoke/v2"
 DIE_EXIT = 17
 #: Auto-checkpoint cadence of the smoke cache: small enough that a crash
 #: loses little, large enough to exercise the pending-entry path.
@@ -107,9 +119,94 @@ def phase_run(args) -> int:
     return 0
 
 
+def phase_faults(args):
+    """Injected-failure campaign + verdict-recall resume; returns checks.
+
+    Runs against its own fresh cache directory so the crash/resume phase
+    and the fault phase cannot contaminate each other's accounting.
+    """
+    from repro.runner.cache import ResultCache
+    from repro.runner.pool import CampaignRunner
+
+    cache_dir = os.path.join(args.work_dir, "smoke-cache-faults")
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    poison = [f"smoke:b0:{i}" for i in range(args.poison_cells)]
+    os.environ["REPRO_FAIL_INJECT"] = json.dumps({
+        "rate": args.inject_rate, "seed": args.seed, "poison": poison,
+    })
+    try:
+        completed = 0
+        t0 = time.perf_counter()
+        with CampaignRunner(
+            jobs=args.jobs, cache=ResultCache(cache_dir, sync_every=SYNC_EVERY),
+            max_retries=2, failure_mode="record",
+        ) as runner:
+            for _b, _i, outcome in runner.run_batches(
+                _batches(args.cells, args.seed), runway=2,
+            ):
+                completed += outcome.ok
+            quarantined = sorted(f.label for f in runner.quarantine.values())
+            retried = runner.retried
+            simulated = runner.simulated
+            gate_events = len(runner.health.events)
+        wall = time.perf_counter() - t0
+
+        # Resume the identical campaign: every verdict — success or
+        # quarantine — must come back from the cache, with nothing
+        # re-simulated and nothing re-quarantined (no double-counting).
+        cache = ResultCache(cache_dir, sync_every=SYNC_EVERY)
+        with CampaignRunner(
+            jobs=args.jobs, cache=cache, max_retries=2, failure_mode="record",
+        ) as resumed:
+            re_completed = sum(
+                outcome.ok for _b, _i, outcome in resumed.run_batches(
+                    _batches(args.cells, args.seed), runway=2,
+                )
+            )
+            resumed_simulated = resumed.simulated
+            resumed_failed = resumed.failed
+            recalled = len(resumed.quarantine)
+            failure_hits = cache.stats.failure_hits
+    finally:
+        os.environ.pop("REPRO_FAIL_INJECT", None)
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+    expect_retries = args.inject_rate > 0 and args.cells >= 200
+    checks = {
+        "faults: surviving cells completed":
+            completed == args.cells - args.poison_cells,
+        "faults: poison cells quarantined": quarantined == sorted(poison),
+        "faults: transients retried": retried > 0 or not expect_retries,
+        "faults: gate decisions emitted": gate_events > 0,
+        "faults: resume recalled verdicts":
+            resumed_simulated == 0 and re_completed == completed,
+        "faults: quarantine not double-counted":
+            resumed_failed == 0 and recalled == args.poison_cells
+            and failure_hits == args.poison_cells,
+        "faults: memory stayed flat": peak_rss_mb < args.rss_limit_mb,
+    }
+    artifact = {
+        "inject_rate": args.inject_rate,
+        "poison_cells": args.poison_cells,
+        "completed": completed,
+        "quarantined": quarantined,
+        "simulated": simulated,
+        "retry_dispatches": retried,
+        "gate_events": gate_events,
+        "wall_s": wall,
+        "resumed_simulated": resumed_simulated,
+        "resumed_failure_hits": failure_hits,
+        "peak_rss_mb": peak_rss_mb,
+    }
+    return checks, artifact
+
+
 def phase_drive(args) -> int:
     """Crash a campaign in a child process, resume it here, assert."""
     cache_dir = args.cache_dir or os.path.join(args.work_dir, "smoke-cache")
+    # Cold start: a cache left by a previous smoke run would satisfy
+    # every cell before --die-after ever fires.
+    shutil.rmtree(cache_dir, ignore_errors=True)
     die_after = max(1, int(args.cells * 0.6))
 
     crash = subprocess.run(
@@ -159,7 +256,10 @@ def phase_drive(args) -> int:
         "every cell completed": completed == args.cells,
         "memory stayed flat": peak_rss_mb < args.rss_limit_mb,
     }
+    fault_checks, fault_artifact = phase_faults(args)
+    checks.update(fault_checks)
     artifact = {
+        "faults": fault_artifact,
         "schema": SCHEMA,
         "cells": args.cells,
         "jobs": args.jobs,
@@ -191,7 +291,8 @@ def phase_drive(args) -> int:
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--phase", choices=("drive", "run"), default="drive")
+    ap.add_argument("--phase", choices=("drive", "run", "faults"),
+                    default="drive")
     ap.add_argument("--cells", type=int, default=5000)
     ap.add_argument("--jobs", type=int, default=2)
     ap.add_argument("--seed", type=int, default=0)
@@ -199,6 +300,11 @@ def main(argv=None) -> int:
     ap.add_argument("--work-dir", default="bench_out")
     ap.add_argument("--die-after", type=int, default=0,
                     help="(phase run) hard-exit after this many simulations")
+    ap.add_argument("--inject-rate", type=float, default=0.05,
+                    help="deterministic transient-failure rate for the "
+                         "injected-failure phase")
+    ap.add_argument("--poison-cells", type=int, default=3,
+                    help="cells that fail permanently on every attempt")
     ap.add_argument("--rss-limit-mb", type=float, default=1536.0)
     ap.add_argument("--out", default="bench_out/scale_smoke.json")
     args = ap.parse_args(argv)
@@ -206,6 +312,12 @@ def main(argv=None) -> int:
         if not args.cache_dir:
             ap.error("--phase run requires --cache-dir")
         return phase_run(args)
+    if args.phase == "faults":
+        checks, artifact = phase_faults(args)
+        for name, ok in sorted(checks.items()):
+            print(f"{'ok  ' if ok else 'FAIL'} {name}")
+        print(json.dumps(artifact, indent=2, sort_keys=True))
+        return 0 if all(checks.values()) else 1
     return phase_drive(args)
 
 

@@ -20,7 +20,13 @@ Subcommands:
 ``exp`` and ``campaign`` accept ``--jobs N`` (process-pool width),
 ``--cache-dir PATH`` (on-disk memoization of simulation cells; delete the
 directory to invalidate) and ``--resume`` (continue a killed run from the
-cache's shard index: only cells it never finished re-simulate).  ``run``, ``exp`` and ``campaign`` accept
+cache's shard index: only cells it never finished re-simulate).  Fault
+tolerance rides the same flags: ``--max-retries N`` retries transient
+worker failures in deterministic rounds, ``--on-unhealthy
+{throttle,halt,ignore}`` sets the health gate's response to a degraded or
+unstable campaign (``blocked`` always halts) and ``--retry-failed`` gives
+quarantined cells from a previous run another attempt instead of
+recalling their cached failure.  ``run``, ``exp`` and ``campaign`` accept
 ``--precheck`` to gate every cell on the static model checker first, and
 ``--metrics-out``/``--trace-out`` to export observability artifacts: a
 metrics snapshot JSON and a Chrome ``trace_event`` timeline (per-run for
@@ -163,7 +169,12 @@ def _campaign_runner(args):
             "--resume needs --cache-dir (and no --no-cache): the cache's "
             "shard index is the record of completed cells"
         )
-    return CampaignRunner(jobs=max(args.jobs, 1), cache=cache)
+    return CampaignRunner(
+        jobs=max(args.jobs, 1), cache=cache,
+        max_retries=max(getattr(args, "max_retries", 0) or 0, 0),
+        on_unhealthy=getattr(args, "on_unhealthy", "throttle"),
+        retry_failed=getattr(args, "retry_failed", False),
+    )
 
 
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
@@ -176,6 +187,16 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--resume", action="store_true",
                         help="continue a killed run: with --cache-dir, only "
                              "cells missing from the cache index re-simulate")
+    parser.add_argument("--max-retries", type=int, default=0,
+                        help="retry transient worker failures up to N times "
+                             "per cell before quarantining")
+    parser.add_argument("--on-unhealthy", default="throttle",
+                        choices=("throttle", "halt", "ignore"),
+                        help="health-gate response to a degraded/unstable "
+                             "campaign (blocked always halts)")
+    parser.add_argument("--retry-failed", action="store_true",
+                        help="re-run cells whose failure is cached instead "
+                             "of recalling the cached failure")
     parser.add_argument("--sanitize", action="store_true",
                         help="audit every run with the simulation sanitizer")
     parser.add_argument("--precheck", action="store_true",
@@ -198,24 +219,37 @@ def _sanitize_overrides(args):
     return use_run_overrides(**overrides)  # no-op when empty
 
 
-def _write_campaign_artifacts(args, seconds, simulated, cache_stats) -> None:
+def _write_campaign_artifacts(
+    args, seconds, simulated, cache_stats, runner=None
+) -> None:
     """Honour --metrics-out/--trace-out for exp/campaign invocations.
 
     Experiment runs fan cells over worker processes, so there is no
     single simulation trace; the artifacts here are *campaign-level*: a
     metrics JSON (per-experiment wall seconds, cells simulated, cache
-    economics) and a wall-clock timeline with one span per experiment.
+    economics, fault-tolerance accounting and the structured event log —
+    every health-gate decision included) and a wall-clock timeline with
+    one span per experiment.
     """
     if getattr(args, "metrics_out", None):
-        from repro.observe import write_json
+        from repro.observe import events_snapshot, write_json
 
-        write_json(args.metrics_out, {
+        payload = {
             "schema": "repro.campaign-metrics/v1",
             "experiments": dict(seconds),
             "total_wall_s": sum(seconds.values()),
             "cells_simulated": simulated,
             "cache": cache_stats,
-        })
+            "events": events_snapshot(),
+        }
+        if runner is not None:
+            payload["faults"] = {
+                "failed": runner.failed,
+                "retried": runner.retried,
+                "quarantined": runner.quarantine_report(),
+                "health": runner.health.health()[0],
+            }
+        write_json(args.metrics_out, payload)
         print(f"metrics -> {args.metrics_out}")
     if getattr(args, "trace_out", None):
         from repro.observe import Span, chrome_trace, write_json
@@ -250,6 +284,7 @@ def cmd_exp(args) -> int:
     _write_campaign_artifacts(
         args, {args.id: wall}, campaign_runner.simulated,
         campaign_runner.cache.stats.as_dict() if campaign_runner.cache else None,
+        runner=campaign_runner,
     )
     return 0
 
@@ -275,6 +310,7 @@ def cmd_campaign(args) -> int:
     print(report.render_summary())
     _write_campaign_artifacts(
         args, report.seconds, report.simulated, report.cache_stats,
+        runner=campaign_runner,
     )
     return 0
 

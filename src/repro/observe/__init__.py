@@ -12,6 +12,10 @@
   layered on the :class:`~repro.sim.trace.TraceRecorder` hooks.
 * :func:`chrome_trace` / :func:`device_gantt` — Chrome ``trace_event``
   JSON for chrome://tracing / Perfetto, and a per-device text Gantt.
+* :func:`emit_event` / :func:`events_snapshot` — a bounded structured
+  event log for control-plane decisions (health-gate trips, batch
+  admissions), exported into campaign artifacts so a tripped gate is
+  diagnosable from the trace.
 * :func:`clock` — the one sanctioned wall-clock read (profiling only;
   the determinism lint bans the host clock everywhere else).
 
@@ -27,6 +31,13 @@ import os
 
 from repro.observe.clock import clock, elapsed
 from repro.observe.collect import MetricsCollector
+from repro.observe.events import (
+    EVENTS_SCHEMA,
+    clear_events,
+    emit_event,
+    events_snapshot,
+    recent_events,
+)
 from repro.observe.export import chrome_trace, device_gantt, write_json
 from repro.observe.metrics import (
     Counter,
@@ -41,6 +52,7 @@ from repro.observe.spans import Span, SpanTracer, TraceSpanBuilder, spans_from_t
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EVENTS_SCHEMA",
     "Gauge",
     "Histogram",
     "MetricsCollector",
@@ -50,10 +62,14 @@ __all__ = [
     "SpanTracer",
     "TraceSpanBuilder",
     "chrome_trace",
+    "clear_events",
     "clock",
     "device_gantt",
     "elapsed",
+    "emit_event",
     "env_metrics",
+    "events_snapshot",
+    "recent_events",
     "spans_from_trace",
     "write_json",
 ]

@@ -1,0 +1,76 @@
+"""A process-wide structured event log for control-plane decisions.
+
+Spans and metrics describe *what the simulation did*; events describe
+*what the harness decided* — a health-gate trip, a batch admission, a
+quarantined cell.  Each event is a small JSON-native dict with a kind, a
+monotone sequence number and arbitrary structured fields, appended to a
+bounded in-process log that exporters snapshot into campaign artifacts.
+
+Determinism contract: events carry **no wall-clock stamp** and no
+ambient entropy — the sequence number is the only ordering — so a
+deterministic campaign emits a byte-identical event stream.  Like the
+rest of :mod:`repro.observe`, emission is pure observation: nothing in
+the simulator or runner reads the log back to make a decision (the
+health gate decides from its own history and merely *reports* here).
+
+The log is bounded (:data:`MAX_EVENTS`, oldest dropped) so a
+million-cell campaign cannot grow it without limit; the drop count is
+reported in :func:`events_snapshot` so truncation is never silent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List
+
+#: Schema tag stamped into every snapshot.
+EVENTS_SCHEMA = "repro.events/v1"
+
+#: Bound on retained events; the oldest are dropped past this.
+MAX_EVENTS = 4096
+
+_log: Deque[Dict[str, object]] = deque(maxlen=MAX_EVENTS)
+_seq = 0
+_dropped = 0
+
+
+def emit_event(kind: str, **fields: object) -> Dict[str, object]:
+    """Append one structured event; returns the stored dict.
+
+    ``fields`` must be JSON-native (the exporters serialize snapshots
+    with ``json.dumps``); the event carries ``kind`` and a process-wide
+    monotone ``seq`` so interleaved emitters stay ordered.
+    """
+    global _seq, _dropped
+    if len(_log) == _log.maxlen:
+        _dropped += 1
+    event: Dict[str, object] = {"kind": kind, "seq": _seq}
+    event.update(fields)
+    _seq += 1
+    _log.append(event)
+    return event
+
+
+def recent_events(kind: str = "") -> List[Dict[str, object]]:
+    """Retained events oldest-first, optionally filtered by kind."""
+    if kind:
+        return [e for e in _log if e["kind"] == kind]
+    return list(_log)
+
+
+def events_snapshot() -> Dict[str, object]:
+    """JSON-native snapshot of the log (for campaign artifacts)."""
+    return {
+        "schema": EVENTS_SCHEMA,
+        "emitted": _seq,
+        "dropped": _dropped,
+        "events": list(_log),
+    }
+
+
+def clear_events() -> None:
+    """Reset the log (test isolation; campaign boundaries)."""
+    global _seq, _dropped
+    _log.clear()
+    _seq = 0
+    _dropped = 0

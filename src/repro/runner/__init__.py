@@ -10,7 +10,10 @@ scaling primitive:
   mini-language describing clusters, schedulers and policies as data.
 * :mod:`repro.runner.hashing` — canonical JSON + SHA-256 cache keys.
 * :mod:`repro.runner.record` — :class:`SimRecord`, the flat summary of a
-  run that experiments consume (and the cache stores).
+  run that experiments consume (and the cache stores), plus
+  :class:`CellFailure`, the structured record of a cell that failed.
+* :mod:`repro.runner.health` — the campaign health model and the single
+  policy gate that admits, throttles or halts batch admission.
 * :mod:`repro.runner.cache` — the on-disk content-addressed result cache.
 * :mod:`repro.runner.jobs` — :class:`SimJob`/:class:`TimingJob` cell
   descriptions plus the process-pool worker entry points.
@@ -33,27 +36,57 @@ from repro.runner.context import (
     use_runner,
 )
 from repro.runner.hashing import cache_key, canonical_json
+from repro.runner.health import (
+    GateDecision,
+    HealthPolicy,
+    HealthTracker,
+    OutcomeView,
+    TransientCellError,
+    classify_exception,
+    compute_health,
+    gate,
+    runway_admissions,
+)
 from repro.runner.jobs import SimJob, TimingJob
-from repro.runner.pool import CampaignRunner
-from repro.runner.record import SimRecord
+from repro.runner.pool import (
+    CampaignCellError,
+    CampaignHaltedError,
+    CampaignRunner,
+    inject_spec_from_env,
+)
+from repro.runner.record import CellFailure, SimRecord, is_failure_record
 from repro.runner.specs import build, factory_spec, is_spec
 
 __all__ = [
     "CacheStats",
+    "CampaignCellError",
+    "CampaignHaltedError",
     "CampaignReport",
     "CampaignRunner",
+    "CellFailure",
+    "GateDecision",
+    "HealthPolicy",
+    "HealthTracker",
+    "OutcomeView",
     "ResultCache",
     "SimJob",
     "SimRecord",
     "TimingJob",
+    "TransientCellError",
     "build",
     "cache_key",
     "canonical_json",
+    "classify_exception",
+    "compute_health",
     "factory_spec",
+    "gate",
     "get_runner",
+    "inject_spec_from_env",
+    "is_failure_record",
     "is_spec",
     "run_campaign",
     "runner_from_env",
+    "runway_admissions",
     "set_runner",
     "use_runner",
 ]

@@ -44,6 +44,8 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.runner.record import is_failure_record
+
 #: Manifest header schema; bump on incompatible index-layout changes.
 INDEX_SCHEMA = "repro.cache-index/v1"
 
@@ -60,6 +62,9 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    #: Hits that recalled a persisted :class:`CellFailure` (quarantined
+    #: cells carried over from a previous run) rather than a record.
+    failure_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -67,7 +72,14 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "errors": self.errors,
+            "failure_hits": self.failure_hits,
         }
+
+    def count_hit(self, record: Dict[str, Any]) -> None:
+        """Fold one successful lookup in, failure-aware."""
+        self.hits += 1
+        if is_failure_record(record):
+            self.failure_hits += 1
 
 
 @dataclass
@@ -225,7 +237,7 @@ class ResultCache:
             self.stats.errors += 1
             self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        self.stats.count_hit(record)
         return record
 
     def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]:
@@ -265,7 +277,7 @@ class ResultCache:
                     try:
                         fh.seek(offset)
                         out[key] = self._parse_entry(fh.read(length), key)
-                        self.stats.hits += 1
+                        self.stats.count_hit(out[key])
                     except (OSError, ValueError, KeyError,
                             json.JSONDecodeError):
                         self.stats.errors += 1
@@ -284,7 +296,7 @@ class ResultCache:
             self.stats.errors += 1
             self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        self.stats.count_hit(record)
         return record
 
     # ------------------------------------------------------------------ #

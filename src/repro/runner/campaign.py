@@ -37,6 +37,14 @@ class CampaignReport:
     total_seconds: float = 0.0
     simulated: int = 0
     cache_stats: Optional[Dict[str, int]] = None
+    #: Fault-tolerance accounting (see :class:`CampaignRunner`).
+    failed: int = 0
+    retried: int = 0
+    #: One diagnostic line per quarantined cell.
+    quarantined: List[str] = field(default_factory=list)
+    #: Health state and gate decisions at campaign end.
+    health: str = "healthy"
+    gate_events: List[Dict[str, object]] = field(default_factory=list)
 
     def render_summary(self) -> str:
         """The timing/cache footer the CLI prints after a campaign."""
@@ -45,11 +53,21 @@ class CampaignReport:
             lines.append(f"{exp_id:6s} {secs:8.2f}s")
         lines.append(f"total  {self.total_seconds:8.2f}s")
         lines.append(f"cells simulated: {self.simulated}")
-        if self.cache_stats is not None:
-            s = self.cache_stats
+        if self.failed or self.retried:
             lines.append(
-                "cache: {hits} hits, {misses} misses, {puts} puts".format(**s)
+                f"cells quarantined: {self.failed} "
+                f"(retry dispatches: {self.retried})"
             )
+            for entry in self.quarantined:
+                lines.append(f"  quarantine: {entry}")
+        if self.health != "healthy":
+            lines.append(f"campaign health: {self.health}")
+        if self.cache_stats is not None:
+            s = dict(self.cache_stats)
+            line = "cache: {hits} hits, {misses} misses, {puts} puts".format(**s)
+            if s.get("failure_hits"):
+                line += f" ({s['failure_hits']} recalled failures)"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -81,6 +99,11 @@ def run_campaign(
             report.seconds[exp_id] = time.perf_counter() - t0
     report.total_seconds = time.perf_counter() - t_campaign
     report.simulated = runner.simulated
+    report.failed = runner.failed
+    report.retried = runner.retried
+    report.quarantined = runner.quarantine_report()
+    report.health = runner.health.health()[0]
+    report.gate_events = list(runner.health.events)
     if runner.cache is not None:
         report.cache_stats = runner.cache.stats.as_dict()
     return report

@@ -11,16 +11,35 @@ construction path and therefore yields bit-identical numbers.
 The module-level ``execute_*`` functions are the ``multiprocessing``
 entry points; payloads are plain dicts so both fork and spawn start
 methods can ship them.
+
+**Failure is data**: :func:`execute_sim` never lets a cell exception
+cross the pool boundary.  It returns a serialized
+:class:`~repro.runner.record.CellFailure` instead — error class,
+message, the fully formatted chained traceback (exception chains do not
+survive pickling; the text does), failure category and attempt count —
+so one poison cell cannot tear down a streaming campaign, and the
+parent can decide to retry, quarantine or raise with full context.
+
+Payloads may carry three out-of-band keys the cache key never sees
+(they are runner policy, not cell content): ``attempt`` (1-based
+execution count, stamped by the retry loop), ``cell_key`` (the cell's
+content hash, used by deterministic failure injection) and ``inject``
+(the parsed ``REPRO_FAIL_INJECT`` spec — threading it through the
+payload instead of worker-side environment reads keeps injection
+working under every start method).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
 
 from repro.runner import specs
-from repro.runner.record import SimRecord, TimingRecord
+from repro.runner.health import TransientCellError, classify_exception
+from repro.runner.record import CellFailure, SimRecord, TimingRecord
 
 
 @dataclass(frozen=True)
@@ -132,13 +151,70 @@ def _workflow_for(doc: Dict[str, Any], fingerprint: Optional[str] = None):
     return wf
 
 
+def _maybe_inject_failure(payload: Dict[str, Any]) -> None:
+    """Deterministic failure injection, driven by the payload's spec.
+
+    The parent stamps the parsed ``REPRO_FAIL_INJECT`` spec into each
+    payload (see :func:`repro.runner.pool.inject_spec_from_env`).  Two
+    fault shapes, both decided without any ambient entropy:
+
+    * **poison** — cells whose label is listed fail every attempt with a
+      permanent error (they must end up quarantined, never retried to
+      success);
+    * **transient** — a seeded hash draw over ``(cell key, seed)`` fails
+      the matching fraction of cells *on their first attempt only*, so a
+      retried cell deterministically succeeds and its record is
+      byte-identical to an injection-free run.
+    """
+    spec = payload.get("inject")
+    if not spec:
+        return
+    label = payload.get("label", "")
+    if label and label in spec.get("poison", ()):
+        raise RuntimeError(f"injected poison cell {label}")
+    rate = float(spec.get("rate", 0.0) or 0.0)
+    if rate <= 0.0 or int(payload.get("attempt", 1)) != 1:
+        return
+    token = f"{payload.get('cell_key') or label}:{spec.get('seed', 0)}"
+    draw = int(hashlib.sha256(token.encode("utf-8")).hexdigest()[:8], 16)
+    if draw / float(0xFFFFFFFF) < rate:
+        raise TransientCellError(
+            f"injected transient failure ({label or 'unlabeled cell'})"
+        )
+
+
+def _failure_dict(
+    exc: Exception, payload: Dict[str, Any], wall_s: float
+) -> Dict[str, Any]:
+    """Serialize a worker exception as a CellFailure dict (never raises)."""
+    return CellFailure(
+        error_type=type(exc).__qualname__,
+        message=str(exc),
+        traceback=traceback_module.format_exc(),
+        category=classify_exception(exc),
+        attempts=int(payload.get("attempt", 1)),
+        wall_s=wall_s,
+        label=payload.get("label", ""),
+    ).to_dict()
+
+
 def execute_sim(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker: rebuild the cell's objects, run it, return the record dict."""
+    """Worker: rebuild the cell's objects, run it, return the record dict.
+
+    A failing cell returns a serialized
+    :class:`~repro.runner.record.CellFailure` instead of raising: the
+    exception's class, message and *formatted chained traceback* are
+    captured here, on the worker side of the pickle boundary, where the
+    chain still exists.  The parent decides whether that failure is
+    retried, quarantined or re-raised.
+    """
     # The import registers HDWS in the scheduler registry inside workers.
     import repro.core  # noqa: F401
     from repro.core.api import run_workflow
 
+    t0 = time.perf_counter()
     try:
+        _maybe_inject_failure(payload)
         wf = _workflow_for(payload["workflow"], payload.get("workflow_fp"))
         cluster = specs.build(payload["cluster"])
         scheduler = _build_scheduler(payload["scheduler"])
@@ -146,9 +222,7 @@ def execute_sim(payload: Dict[str, Any]) -> Dict[str, Any]:
         result = run_workflow(wf, cluster, scheduler=scheduler, **config)
         return SimRecord.from_run(result).to_dict()
     except Exception as exc:
-        raise RuntimeError(
-            f"simulation cell {payload.get('label') or '<unlabeled>'} failed: {exc}"
-        ) from exc
+        return _failure_dict(exc, payload, time.perf_counter() - t0)
 
 
 def execute_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -171,8 +245,13 @@ def execute_timing(payload: Dict[str, Any]) -> Dict[str, Any]:
         schedule.validate_against(wf)
         return TimingRecord(elapsed_s=elapsed, n_tasks=wf.n_tasks).to_dict()
     except Exception as exc:
+        # Chain the original (debuggable in-process) *and* embed the
+        # formatted traceback: the chain does not survive the pickle
+        # boundary back to the parent, the text does.
         raise RuntimeError(
-            f"timing cell {payload.get('label') or '<unlabeled>'} failed: {exc}"
+            f"timing cell {payload.get('label') or '<unlabeled>'} failed: "
+            f"{exc}\n--- worker traceback ---\n"
+            f"{traceback_module.format_exc()}"
         ) from exc
 
 

@@ -11,6 +11,16 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Dict
 
+#: Discriminator stamped into serialized :class:`CellFailure` dicts so a
+#: cache entry (or a streamed worker output) is recognizably a failure.
+#: ``SimRecord`` dicts carry no ``kind`` key, so the check is exact.
+FAILURE_SCHEMA = "repro.cell-failure/v1"
+
+
+def is_failure_record(payload: Dict[str, Any]) -> bool:
+    """Whether a worker-output / cache-entry dict is a serialized failure."""
+    return payload.get("kind") == FAILURE_SCHEMA
+
 
 @dataclass(frozen=True)
 class SimRecord:
@@ -29,6 +39,12 @@ class SimRecord:
     #: Simulation events fired (deterministic; 0.0 in records cached
     #: before the field existed).
     events: float = 0.0
+
+    #: Worker-level verdict, for symmetric ``outcome.ok`` checks across
+    #: :class:`SimRecord` / :class:`CellFailure` streams.  Distinct from
+    #: :attr:`success`, the *simulated* verdict (a cell can complete
+    #: while its simulated workflow stranded tasks).
+    ok = True
 
     @property
     def data_moved_mb(self) -> float:
@@ -65,6 +81,63 @@ class SimRecord:
         with defaults fall back to them), so growing the record never
         invalidates existing on-disk caches.
         """
+        return cls(**{
+            k: payload[k] for k in cls.__dataclass_fields__ if k in payload
+        })
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one cell that failed in a worker.
+
+    Failure is *data*, not process death: workers return this record
+    (serialized) instead of raising, so a streaming campaign keeps
+    going, the cache can persist the failure content-addressed like a
+    success, and the quarantine report can say exactly what broke where.
+
+    ``traceback`` carries the worker's fully formatted (chained)
+    traceback text — exceptions lose their ``__cause__`` and traceback
+    objects at the pickle boundary, so the text is the only form that
+    survives the trip debuggable.  ``wall_s`` is profiling data only
+    (machine-dependent; never compared by deterministic consumers).
+    """
+
+    #: Qualified exception class name (``ValueError``, ...).
+    error_type: str
+    #: ``str(exc)`` of the final attempt.
+    message: str
+    #: Formatted chained traceback from the worker.
+    traceback: str
+    #: Failure category (:data:`repro.runner.health.CATEGORIES`).
+    category: str
+    #: Total executions of the cell, the failing one included.
+    attempts: int
+    #: Wall seconds of the final attempt (profiling only).
+    wall_s: float
+    #: The cell's human-readable label.
+    label: str = ""
+
+    #: Worker-level verdict, for symmetric ``outcome.ok`` checks across
+    #: :class:`SimRecord` / :class:`CellFailure` streams.
+    ok = False
+
+    def summary(self) -> str:
+        """One diagnostic line: label, category, error, attempts."""
+        where = self.label or "<unlabeled>"
+        return (
+            f"{where}: {self.error_type}: {self.message} "
+            f"[{self.category}, {self.attempts} attempt(s)]"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form, discriminated by :data:`FAILURE_SCHEMA`."""
+        payload = asdict(self)
+        payload["kind"] = FAILURE_SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellFailure":
+        """Rebuild from :meth:`to_dict` output (tolerant like SimRecord)."""
         return cls(**{
             k: payload[k] for k in cls.__dataclass_fields__ if k in payload
         })

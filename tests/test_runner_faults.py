@@ -1,0 +1,278 @@
+"""Fault-tolerant campaigns: capture, retry, quarantine, admission."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.common import make_job, preset_spec
+from repro.observe import clear_events, recent_events
+from repro.runner import (
+    CampaignCellError,
+    CampaignHaltedError,
+    CampaignRunner,
+    CellFailure,
+    ResultCache,
+)
+from repro.runner.health import INFRASTRUCTURE, OutcomeView, TRANSIENT
+from repro.workflows.generators import montage
+
+CLUSTER = preset_spec("hybrid", nodes=2, cores_per_node=2, gpus_per_node=1)
+
+
+def _jobs(n=6, seed=5, prefix="fault"):
+    wf = montage(size=12, seed=seed)
+    return [
+        make_job(wf, CLUSTER, scheduler="heft", seed=seed + i, noise_cv=0.1,
+                 label=f"{prefix}:{i}")
+        for i in range(n)
+    ]
+
+
+def _failing_job(seed=5, label="fault:poison"):
+    """A cell that raises inside the worker (unknown RunConfig field)."""
+    return make_job(
+        montage(size=12, seed=seed), CLUSTER, scheduler="heft",
+        seed=seed, bogus_config_field=1, label=label,
+    )
+
+
+def _inject(monkeypatch, rate=0.0, seed=1, poison=()):
+    monkeypatch.setenv("REPRO_FAIL_INJECT", json.dumps(
+        {"rate": rate, "seed": seed, "poison": list(poison)}
+    ))
+
+
+# --------------------------------------------------------------------- #
+# transient retry                                                       #
+# --------------------------------------------------------------------- #
+
+def test_transient_failures_retry_to_byte_identical_records(monkeypatch):
+    """Every cell fails its first attempt; the retried run matches clean."""
+    jobs = _jobs()
+    clean = CampaignRunner(jobs=1).run_sims(jobs)
+
+    _inject(monkeypatch, rate=1.0)
+    runner = CampaignRunner(jobs=1, max_retries=1, failure_mode="record")
+    records = runner.run_sims(jobs)
+
+    assert records == clean  # retries leave no trace in the records
+    assert runner.retried == len(jobs)
+    assert runner.simulated == len(jobs)
+    assert runner.failed == 0 and not runner.quarantine
+
+
+def test_transient_without_retries_is_quarantined(monkeypatch):
+    _inject(monkeypatch, rate=1.0)
+    runner = CampaignRunner(jobs=1, max_retries=0, failure_mode="record")
+    outcomes = runner.run_sims(_jobs(n=2))
+    assert all(isinstance(o, CellFailure) for o in outcomes)
+    assert outcomes[0].category == TRANSIENT
+    assert outcomes[0].attempts == 1
+    assert runner.failed == 2 and runner.retried == 0
+
+
+# --------------------------------------------------------------------- #
+# poison cells / permanent failures                                     #
+# --------------------------------------------------------------------- #
+
+def test_poison_cell_quarantined_never_retried(monkeypatch):
+    jobs = _jobs()
+    _inject(monkeypatch, poison=[jobs[2].label])
+    runner = CampaignRunner(jobs=1, max_retries=3, failure_mode="record")
+    outcomes = runner.run_sims(jobs)
+
+    failure = outcomes[2]
+    assert isinstance(failure, CellFailure)
+    assert failure.category == "permanent"
+    assert failure.attempts == 1  # permanent failures never retry
+    assert failure.label == jobs[2].label
+    assert runner.failed == 1 and runner.retried == 0
+    assert runner.simulated == len(jobs) - 1
+    assert [o.ok for o in outcomes] == [True, True, False, True, True, True]
+    assert runner.quarantine_report() == [failure.summary()]
+
+
+def test_worker_failure_keeps_chained_traceback_text():
+    """The formatted worker traceback survives the pickle boundary."""
+    runner = CampaignRunner(jobs=1, failure_mode="record")
+    (failure,) = runner.run_sims([_failing_job()])
+    assert isinstance(failure, CellFailure)
+    assert failure.error_type == "TypeError"
+    assert "bogus_config_field" in failure.message
+    assert "Traceback (most recent call last)" in failure.traceback
+    assert "bogus_config_field" in failure.traceback
+
+
+def test_attempt_count_crosses_the_pickle_boundary():
+    from repro.runner.jobs import execute_sim
+
+    payload = _failing_job().payload()
+    payload["attempt"] = 3
+    failure = CellFailure.from_dict(execute_sim(payload))
+    assert failure.attempts == 3
+
+
+# --------------------------------------------------------------------- #
+# raise mode: the historic contract, pool reusable after                #
+# --------------------------------------------------------------------- #
+
+def test_raise_mode_raises_with_label_and_worker_traceback():
+    runner = CampaignRunner(jobs=1)
+    with pytest.raises(CampaignCellError, match="fault:poison") as err:
+        runner.run_sims([_failing_job()])
+    assert "--- worker traceback ---" in str(err.value)
+    assert err.value.failure.error_type == "TypeError"
+
+
+def test_pool_reusable_after_failing_batch():
+    """A failing batch must not wedge the persistent pool (regression)."""
+    jobs = _jobs()
+    broken = list(jobs)
+    broken[3] = _failing_job()
+    clean = CampaignRunner(jobs=1).run_sims(jobs)
+    with CampaignRunner(jobs=2) as runner:
+        with pytest.raises(CampaignCellError):
+            runner.run_sims(broken)
+        assert runner.run_sims(jobs) == clean  # same runner, same pool
+
+
+def test_abandoned_ordered_stream_leaves_runner_reusable():
+    jobs = _jobs()
+    clean = CampaignRunner(jobs=1).run_sims(jobs)
+    with CampaignRunner(jobs=2) as runner:
+        stream = runner.run_sims_ordered(jobs)
+        next(stream)
+        stream.close()  # abandon mid-batch
+        assert runner.run_sims(jobs) == clean
+
+
+# --------------------------------------------------------------------- #
+# failure caching and resume                                            #
+# --------------------------------------------------------------------- #
+
+def test_cached_failures_recall_without_resimulating(tmp_path, monkeypatch):
+    jobs = _jobs()
+    _inject(monkeypatch, poison=[jobs[2].label])
+
+    first = CampaignRunner(
+        jobs=1, cache=ResultCache(str(tmp_path)), failure_mode="record"
+    )
+    first.run_sims(jobs)
+    first.close()
+    assert first.failed == 1
+
+    recalled = CampaignRunner(
+        jobs=1, cache=ResultCache(str(tmp_path)), failure_mode="record"
+    )
+    outcomes = recalled.run_sims(jobs)
+    assert recalled.simulated == 0  # every verdict came from the cache
+    assert recalled.failed == 0  # recalled quarantine is not re-counted
+    assert isinstance(outcomes[2], CellFailure)
+    assert recalled.cache.stats.failure_hits == 1
+    assert len(recalled.quarantine) == 1
+
+
+def test_retry_failed_reruns_quarantined_cells(tmp_path, monkeypatch):
+    jobs = _jobs()
+    _inject(monkeypatch, poison=[jobs[2].label])
+    first = CampaignRunner(
+        jobs=1, cache=ResultCache(str(tmp_path)), failure_mode="record"
+    )
+    first.run_sims(jobs)
+    first.close()
+
+    # The poison is gone now (spec cleared): --retry-failed re-runs the
+    # quarantined cell instead of recalling its cached failure.
+    monkeypatch.delenv("REPRO_FAIL_INJECT")
+    retried = CampaignRunner(
+        jobs=1, cache=ResultCache(str(tmp_path)),
+        failure_mode="record", retry_failed=True,
+    )
+    outcomes = retried.run_sims(jobs)
+    assert retried.simulated == 1  # only the quarantined cell re-ran
+    assert all(o.ok for o in outcomes)
+
+
+def test_raise_mode_never_caches_failures(tmp_path):
+    runner = CampaignRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    with pytest.raises(CampaignCellError):
+        runner.run_sims([_failing_job()])
+    runner.close()
+    rerun = CampaignRunner(jobs=1, cache=ResultCache(str(tmp_path)))
+    with pytest.raises(CampaignCellError):
+        rerun.run_sims([_failing_job()])  # still a live failure, not a hit
+    assert rerun.cache.stats.failure_hits == 0
+
+
+# --------------------------------------------------------------------- #
+# health-gated batch admission                                          #
+# --------------------------------------------------------------------- #
+
+def test_run_batches_emits_admission_gate_events():
+    clear_events()
+    try:
+        batches = [_jobs(n=2, seed=5), _jobs(n=2, seed=50, prefix="fault2")]
+        with CampaignRunner(jobs=1) as runner:
+            outcomes = list(runner.run_batches(batches, runway=2))
+        assert len(outcomes) == 4
+        admissions = [
+            e for e in recent_events("campaign.gate")
+            if e["context"] == "admission"
+        ]
+        assert admissions and all(e["action"] == "admit" for e in admissions)
+    finally:
+        clear_events()
+
+
+def test_run_batches_halts_when_blocked():
+    runner = CampaignRunner(jobs=1, failure_mode="record")
+    runner.health.observe(OutcomeView(
+        ok=False, category=INFRASTRUCTURE, error_type="OSError",
+    ))
+    with pytest.raises(CampaignHaltedError, match="blocked"):
+        list(runner.run_batches([_jobs(n=2)]))
+    assert runner.simulated == 0  # nothing was admitted
+
+
+def test_run_batches_ignore_cannot_override_blocked():
+    runner = CampaignRunner(jobs=1, failure_mode="record",
+                            on_unhealthy="ignore")
+    runner.health.observe(OutcomeView(
+        ok=False, category=INFRASTRUCTURE, error_type="OSError",
+    ))
+    with pytest.raises(CampaignHaltedError):
+        list(runner.run_batches([_jobs(n=2)]))
+
+
+# --------------------------------------------------------------------- #
+# CLI wiring                                                            #
+# --------------------------------------------------------------------- #
+
+def test_cli_fault_flags_reach_the_runner():
+    from repro.cli import _campaign_runner, build_parser
+
+    args = build_parser().parse_args([
+        "exp", "x2", "--max-retries", "2", "--on-unhealthy", "halt",
+        "--retry-failed",
+    ])
+    runner = _campaign_runner(args)
+    try:
+        assert runner.max_retries == 2
+        assert runner.health.on_unhealthy == "halt"
+        assert runner.retry_failed is True
+    finally:
+        runner.close()
+
+
+def test_inject_spec_env_parse_errors_are_actionable(monkeypatch):
+    from repro.runner import inject_spec_from_env
+
+    monkeypatch.setenv("REPRO_FAIL_INJECT", "not json")
+    with pytest.raises(ValueError, match="REPRO_FAIL_INJECT"):
+        inject_spec_from_env()
+    monkeypatch.setenv("REPRO_FAIL_INJECT", '{"rate": 0.5, "poison": ["x"]}')
+    assert inject_spec_from_env() == {
+        "rate": 0.5, "seed": 0, "poison": ["x"],
+    }
