@@ -3,14 +3,19 @@
 #
 # Proves the plan-time checking layer end to end:
 #   1. the staticcheck suites — mutation self-tests for every model check,
-#      schedule-audit check and lint check (a check that cannot catch its
-#      own seeded defect is worthless);
+#      schedule-audit check, lint check and whole-program check (a check
+#      that cannot catch its own seeded defect is worthless);
 #   2. the determinism lint over src/repro — must be clean modulo the
 #      packaged allowlist;
-#   3. the model checker + schedule audit over every golden suite x
+#   3. the deep whole-program pass over src/repro — interprocedural
+#      determinism taint from the campaign-entry roots, pickle-boundary
+#      safety of worker payloads, concurrency/lifecycle hazards — clean
+#      modulo the allowlist and the committed burn-down baseline, with
+#      JSON + SARIF findings reports left in bench_out/ for CI upload;
+#   4. the model checker + schedule audit over every golden suite x
 #      scheduler cell — the pinned regression grid must be statically
 #      sound, not merely numerically stable;
-#   4. live CLI cross-checks — `repro-flow check` on a feasible and an
+#   5. live CLI cross-checks — `repro-flow check` on a feasible and an
 #      infeasible cell (exit codes 0 / 1), and a --precheck'ed run.
 #
 # Usage: bash scripts/check_staticcheck.sh   (from the repo root)
@@ -20,15 +25,25 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== staticcheck self-tests (model, schedule, lint) =="
+echo "== staticcheck self-tests (model, schedule, lint, deep) =="
 python -m pytest -q \
     tests/test_staticcheck_model.py \
     tests/test_staticcheck_schedule.py \
     tests/test_staticcheck_lint.py \
+    tests/test_staticcheck_callgraph.py \
+    tests/test_staticcheck_flow.py \
+    tests/test_staticcheck_pickle.py \
+    tests/test_staticcheck_concurrency.py \
     tests/test_workflow_validate.py
 
 echo "== determinism lint over src/repro =="
 python -m repro.cli lint src/repro
+
+echo "== deep whole-program pass over src/repro =="
+mkdir -p bench_out
+python -m repro.cli lint src/repro --deep \
+    --json bench_out/staticcheck_findings.json \
+    --sarif bench_out/staticcheck_findings.sarif
 
 echo "== model checker over the golden grid =="
 python - <<'EOF'

@@ -368,6 +368,16 @@ def cmd_lint(args) -> int:
     argv = list(args.paths)
     if args.allowlist:
         argv += ["--allowlist", args.allowlist]
+    if args.deep:
+        argv += ["--deep"]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.json_out:
+        argv += ["--json", args.json_out]
+    if args.sarif_out:
+        argv += ["--sarif", args.sarif_out]
+    if args.prune:
+        argv += ["--prune"]
     return lint_main(argv)
 
 
@@ -500,6 +510,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--allowlist", default=None,
                         help="override the packaged allowlist file")
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="add the whole-program passes: call-graph determinism "
+             "taint, pickle-boundary safety, concurrency hazards",
+    )
+    p_lint.add_argument("--baseline", default=None,
+                        help="override the deep-pass burn-down baseline")
+    p_lint.add_argument("--json", dest="json_out", default=None,
+                        help="write the findings report as JSON here")
+    p_lint.add_argument("--sarif", dest="sarif_out", default=None,
+                        help="write the findings report as SARIF here")
+    p_lint.add_argument(
+        "--prune", action="store_true",
+        help="rewrite the allowlist without stale entries",
+    )
     p_lint.set_defaults(func=cmd_lint)
 
     p_ens = sub.add_parser("ensemble", help="run an ensemble of workflows")

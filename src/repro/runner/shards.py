@@ -66,7 +66,7 @@ class ShardWriter:
             return 0
         taken = [
             name
-            for name in os.listdir(self.root)
+            for name in sorted(os.listdir(self.root))
             if name.startswith(self.prefix + "-") and name.endswith(".jsonl")
         ]
         ordinals = []

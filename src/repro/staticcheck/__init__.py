@@ -1,30 +1,45 @@
 """Plan-time static analysis for the simulator.
 
-Two heads, one findings pipeline:
+Three heads, one findings pipeline:
 
 * the **model checker** (:func:`check_run`, :func:`precheck_job`,
   :func:`audit_schedule`) proves a (workflow, cluster, config) cell
   infeasible *before* the simulator starts — stranded tasks, storage
   overflows, insane fault/power parameters, unsound schedules;
 * the **determinism lint** (:mod:`repro.staticcheck.lint`) walks the
-  simulator's own source for wall-clock reads, global-stream randomness
-  and order-dependent iteration — the bugs the runtime sanitizer can only
-  catch after they have already corrupted a campaign.
+  simulator's own source for wall-clock reads, global-stream randomness,
+  ambient entropy and order-dependent iteration — the bugs the runtime
+  sanitizer can only catch after they have already corrupted a campaign;
+* the **whole-program flow pass** (``repro-flow lint --deep``) builds a
+  module-level call graph (:mod:`repro.staticcheck.callgraph`) and
+  proves interprocedural properties over it: determinism taint from the
+  campaign-entry roots (:mod:`repro.staticcheck.flow`), pickle-boundary
+  safety of worker payloads (:mod:`repro.staticcheck.pickle_safety`) and
+  concurrency/lifecycle hazards
+  (:mod:`repro.staticcheck.concurrency`).
 
-Both emit :class:`Finding` objects; :class:`CheckReport` aggregates them
+All emit :class:`Finding` objects; :class:`CheckReport` aggregates them
 and decides pass/fail (only ``ERROR`` severity blocks).  The runtime
 sanitizer's violations convert to the same type, so plan-time and
-run-time reports render uniformly.
+run-time reports render uniformly, and :func:`findings_to_json` /
+:func:`findings_to_sarif` export any findings list for CI annotation.
 """
 
+from repro.staticcheck.callgraph import CallGraph, build_callgraph
+from repro.staticcheck.concurrency import check_concurrency
 from repro.staticcheck.findings import (
     CheckReport,
     Finding,
     Severity,
     StaticCheckError,
     error,
+    findings_to_json,
+    findings_to_sarif,
+    summary_table,
     warning,
 )
+from repro.staticcheck.flow import check_flow
+from repro.staticcheck.pickle_safety import check_pickle_safety
 from repro.staticcheck.model_checks import (
     check_data,
     check_fault_model,
@@ -38,19 +53,27 @@ from repro.staticcheck.schedule_audit import audit_schedule
 from repro.staticcheck.workflow_checks import check_workflow
 
 __all__ = [
+    "CallGraph",
     "CheckReport",
     "Finding",
     "Severity",
     "StaticCheckError",
     "audit_schedule",
+    "build_callgraph",
+    "check_concurrency",
     "check_data",
     "check_fault_model",
+    "check_flow",
+    "check_pickle_safety",
     "check_placement",
     "check_platform",
     "check_recovery",
     "check_run",
     "check_workflow",
     "error",
+    "findings_to_json",
+    "findings_to_sarif",
     "precheck_job",
+    "summary_table",
     "warning",
 ]

@@ -16,8 +16,10 @@ warnings are advisory and printed but never block a run.
 from __future__ import annotations
 
 import enum
+import json
+import os
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 class Severity(enum.Enum):
@@ -132,6 +134,142 @@ class CheckReport:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CheckReport errors={len(self.errors)} warnings={len(self.warnings)}>"
+
+
+# --------------------------------------------------------------------- #
+# machine-readable exports (CI annotation)                              #
+# --------------------------------------------------------------------- #
+
+#: Schema tag of the JSON findings report.
+JSON_SCHEMA = "repro.staticcheck-findings/v1"
+
+#: SARIF severity levels by finding severity.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _split_location(location: str) -> tuple:
+    """``path:line`` -> (path, line); non-file locations get line 0."""
+    path, sep, line = location.rpartition(":")
+    if sep and line.isdigit():
+        return path, int(line)
+    return location, 0
+
+
+def findings_to_json(findings: Sequence[Finding]) -> Dict:
+    """The findings report as a schema-versioned JSON document."""
+    return {
+        "schema": JSON_SCHEMA,
+        "counts": {
+            "error": sum(1 for f in findings if f.severity == Severity.ERROR),
+            "warning": sum(
+                1 for f in findings if f.severity == Severity.WARNING
+            ),
+            "total": len(findings),
+        },
+        "findings": [
+            {
+                "check": f.check,
+                "severity": str(f.severity),
+                "layer": f.layer,
+                "location": f.location,
+                "message": f.message,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+    }
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding], tool_version: str = "0"
+) -> Dict:
+    """The findings report as a minimal SARIF 2.1.0 document.
+
+    One rule per distinct check id; each result carries the finding's
+    message, severity level and — when the location parses as
+    ``path:line`` — a physical location CI annotators understand.
+    """
+    rules: List[Dict] = []
+    rule_index: Dict[str, int] = {}
+    results: List[Dict] = []
+    for finding in findings:
+        if finding.check not in rule_index:
+            rule_index[finding.check] = len(rules)
+            rules.append({
+                "id": finding.check,
+                "shortDescription": {"text": finding.check},
+                "help": {"text": finding.hint or finding.check},
+            })
+        path, line = _split_location(finding.location)
+        result: Dict = {
+            "ruleId": finding.check,
+            "ruleIndex": rule_index[finding.check],
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+        }
+        if line > 0:
+            result["locations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": {"startLine": line},
+                },
+            }]
+        results.append(result)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-staticcheck",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def summary_table(
+    findings: Sequence[Finding], checks: Optional[Sequence[str]] = None
+) -> str:
+    """Per-check-id counts as an aligned text table (CI job-log summary).
+
+    ``checks`` lists every check id that *ran*, so a clean check shows
+    an explicit zero row instead of silently vanishing.
+    """
+    counts: Dict[str, List[int]] = {}
+    for check in checks or ():
+        counts[check] = [0, 0]
+    for f in findings:
+        row = counts.setdefault(f.check, [0, 0])
+        row[0 if f.severity == Severity.ERROR else 1] += 1
+    width = max([len("check"), *(len(c) for c in counts)], default=5)
+    lines = [
+        f"{'check':<{width}}  {'errors':>6}  {'warnings':>8}",
+        f"{'-' * width}  {'-' * 6}  {'-' * 8}",
+    ]
+    for check in sorted(counts):
+        err, warn = counts[check]
+        lines.append(f"{check:<{width}}  {err:>6}  {warn:>8}")
+    return "\n".join(lines)
+
+
+def write_json_file(path: str, document: Dict) -> None:
+    """Write one JSON document, creating parent directories."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 class StaticCheckError(RuntimeError):

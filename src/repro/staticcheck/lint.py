@@ -19,6 +19,17 @@ broken that contract in workflow systems:
 * ``unseeded-rng`` — ``np.random.default_rng()`` with no seed (ambient
   entropy) or with a constant literal seed (a fresh, caller-invisible
   stream where the caller's seed should flow).
+* ``ambient-entropy`` — ``os.urandom``, ``uuid.uuid4``/``uuid.uuid1``,
+  ``secrets.*``: host entropy (or host identity) reaching simulation
+  state makes two identical cells diverge by construction.
+* ``hash-ordering`` — the builtin ``hash()`` used as (or inside) a sort
+  key: string hashes vary per process under ``PYTHONHASHSEED``, so the
+  resulting order is not reproducible across workers.
+* ``fs-ordering`` — iterating ``os.listdir``/``os.scandir``/
+  ``glob.glob``/``glob.iglob`` results directly: the OS returns
+  directory entries in arbitrary order.  Wrap in ``sorted(...)``
+  (order-insensitive reductions like ``sum``/``max``/``set`` are
+  exempt).
 * ``set-iteration`` — ``for x in {...}`` / ``for x in set(...)``: set
   order depends on ``PYTHONHASHSEED`` for strings, so any decision loop
   over a bare set is nondeterministic across processes.  Iterate
@@ -28,23 +39,50 @@ broken that contract in workflow systems:
   worst).  Iterate ``list(d)`` when mutation is intended.
 
 Deliberate exceptions are declared in ``lint_allowlist.txt`` next to this
-module: one ``<path-substring>::<check-id>`` entry per line, with a
-comment saying why.  Run stand-alone with::
+module: one ``<path-substring>::<check-id>`` entry per line — optionally
+``<path-substring>::<check-id>::<site-substring>`` to suppress a single
+sink site (the third field must appear in the finding's location or
+message, e.g. a function qualname or the sink's dotted name) — with a
+comment saying why.  Entries that no longer suppress anything are
+**stale** and fail the lint (``--prune`` rewrites the file without
+them), so suppressions cannot silently rot.
 
-    python -m repro.staticcheck.lint [paths...]
+``--deep`` chains the whole-program analyses on top of this file-local
+pass: the interprocedural determinism taint flow
+(:mod:`repro.staticcheck.flow`), the pickle-boundary checker
+(:mod:`repro.staticcheck.pickle_safety`) and the concurrency/lifecycle
+hazard checks (:mod:`repro.staticcheck.concurrency`).  Deep findings
+can be burnt down through the committed baseline
+(``deep_baseline.json``): baselined findings demote to warnings, new
+ones fail, and baseline entries that stop matching fail as stale.
 
-which exits nonzero when any finding survives the allowlist.
+Run stand-alone with::
+
+    python -m repro.staticcheck.lint [paths...] [--deep]
+        [--json OUT] [--sarif OUT] [--prune]
+
+which exits nonzero when any error-severity finding survives the
+allowlist/baseline, or when either file has stale entries.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
+import json
 import os
 import sys
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.findings import (
+    Finding,
+    Severity,
+    findings_to_json,
+    findings_to_sarif,
+    summary_table,
+    write_json_file,
+)
 
 #: Layer tag for every finding this module emits.
 LAYER = "lint"
@@ -63,6 +101,36 @@ WALL_CLOCK_CALLS = {
     "datetime.datetime.today",
     "datetime.date.today",
 }
+
+#: Dotted call paths that draw host entropy or host identity.
+AMBIENT_ENTROPY_CALLS = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.choice",
+}
+
+#: Dotted call paths returning directory entries in OS order.
+FS_LISTING_CALLS = {
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+}
+
+#: Builtins whose reduction over an iterable is order-insensitive, so
+#: feeding them an unsorted listing directly is harmless.
+ORDER_INSENSITIVE_CONSUMERS = {
+    "sorted", "set", "frozenset", "sum", "len", "max", "min", "any", "all",
+}
+
+#: Builtins that take a ``key=`` ordering callback.
+SORTING_CALLS = {"sorted", "min", "max"}
 
 #: numpy.random attributes that construct generators (deterministic given
 #: their arguments) rather than drawing from the hidden global stream.
@@ -87,13 +155,86 @@ DICT_MUTATORS = {"pop", "popitem", "clear", "update", "setdefault"}
 #: Default allowlist shipped with the package.
 DEFAULT_ALLOWLIST = os.path.join(os.path.dirname(__file__), "lint_allowlist.txt")
 
+#: Default deep-analysis baseline shipped with the package.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "deep_baseline.json")
+
+#: Check ids the file-local (shallow) pass can emit.
+LINT_CHECK_IDS = (
+    "wall-clock",
+    "global-random",
+    "unseeded-rng",
+    "ambient-entropy",
+    "hash-ordering",
+    "fs-ordering",
+    "set-iteration",
+    "dict-mutation-in-loop",
+)
+
+#: Check ids the ``--deep`` whole-program pass adds.
+DEEP_CHECK_IDS = (
+    "taint-flow",
+    "pickle-lambda",
+    "pickle-local-def",
+    "pickle-open-handle",
+    "pickle-module-state",
+    "pickle-unpicklable-target",
+    "worker-global-mutation",
+    "generator-pool-cleanup",
+    "unclassified-raise",
+)
+
 _HINTS = {
     "wall-clock": "use the simulator's virtual time (executor.now / sim.now)",
     "global-random": "thread a numpy Generator (see sim/rng.py) instead",
     "unseeded-rng": "accept rng= or seed= from the caller and pass it down",
+    "ambient-entropy": "derive ids/draws from the campaign seed instead",
+    "hash-ordering": "sort by the value itself, not its per-process hash",
+    "fs-ordering": "iterate sorted(os.listdir(...)) for a stable order",
     "set-iteration": "iterate sorted(...) for a deterministic order",
     "dict-mutation-in-loop": "iterate list(d) when you must mutate d",
 }
+
+#: Allowlist entry: (path-substring, check-id, optional site-substring).
+AllowEntry = Tuple[str, str, Optional[str]]
+
+
+def _normalize_allow(allow: Sequence) -> List[AllowEntry]:
+    """Accept legacy 2-tuples and sited 3-tuples uniformly."""
+    out: List[AllowEntry] = []
+    for entry in allow:
+        if len(entry) == 2:
+            out.append((entry[0], entry[1], None))
+        else:
+            out.append((entry[0], entry[1], entry[2]))
+    return out
+
+
+def allow_match(
+    allow: Sequence,
+    path: str,
+    check: str,
+    location: str = "",
+    message: str = "",
+    used: Optional[Set[AllowEntry]] = None,
+) -> bool:
+    """Whether an allowlist entry suppresses this finding.
+
+    A 2-field entry matches on (path substring, check id); a 3-field
+    entry additionally requires its site substring to appear in the
+    finding's location or message — sink-site granularity.  Matched
+    entries are recorded in ``used`` for stale detection.
+    """
+    hit = False
+    for entry in _normalize_allow(allow):
+        part, c, site = entry
+        if c != check or part not in path:
+            continue
+        if site is not None and site not in location and site not in message:
+            continue
+        hit = True
+        if used is not None:
+            used.add(entry)
+    return hit
 
 
 def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
@@ -128,6 +269,65 @@ def _dotted_path(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
     return ".".join(reversed(parts))
 
 
+def sink_for_call(
+    node: ast.Call, aliases: Dict[str, str]
+) -> Optional[Tuple[str, str]]:
+    """Classify one call as a determinism sink: ``(check-id, message)``.
+
+    The single source of truth for call-shaped sinks, shared by the
+    file-local pass here and the interprocedural taint flow
+    (:mod:`repro.staticcheck.flow`).
+    """
+    dotted = _dotted_path(node.func, aliases)
+    if dotted is None:
+        return None
+    if dotted in WALL_CLOCK_CALLS:
+        return (
+            "wall-clock",
+            f"{dotted}() reads the host clock inside simulation code",
+        )
+    if dotted in AMBIENT_ENTROPY_CALLS:
+        return (
+            "ambient-entropy",
+            f"{dotted}() draws host entropy; two identical cells diverge",
+        )
+    if dotted == "numpy.random.default_rng":
+        if not node.args and not node.keywords:
+            return (
+                "unseeded-rng",
+                "default_rng() with no seed draws ambient entropy; "
+                "runs become unrepeatable",
+            )
+        if (
+            len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, int)
+        ):
+            return (
+                "unseeded-rng",
+                f"default_rng({node.args[0].value}) hard-codes a "
+                f"constant seed where the caller's seed should flow",
+            )
+        return None
+    if dotted.startswith("numpy.random."):
+        tail = dotted.rsplit(".", 1)[1]
+        if tail not in RNG_CONSTRUCTORS:
+            return (
+                "global-random",
+                f"{dotted}() draws from numpy's hidden global stream",
+            )
+        return None
+    if dotted.startswith("random."):
+        tail = dotted.rsplit(".", 1)[1]
+        if tail not in STDLIB_RANDOM_OK:
+            return (
+                "global-random",
+                f"{dotted}() draws from the stdlib global stream",
+            )
+    return None
+
+
 def _is_bare_set(node: ast.AST) -> bool:
     """Whether an expression is a set literal/comprehension/constructor."""
     if isinstance(node, (ast.Set, ast.SetComp)):
@@ -137,6 +337,27 @@ def _is_bare_set(node: ast.AST) -> bool:
         and isinstance(node.func, ast.Name)
         and node.func.id in ("set", "frozenset")
     )
+
+
+def _is_fs_listing(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    """Whether an expression is a direct unsorted-directory-listing call."""
+    if not isinstance(node, ast.Call):
+        return False
+    return _dotted_path(node.func, aliases) in FS_LISTING_CALLS
+
+
+def _uses_hash(node: ast.AST) -> bool:
+    """Whether an expression is (or contains a call to) the builtin hash."""
+    if isinstance(node, ast.Name) and node.id == "hash":
+        return True
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "hash"
+        ):
+            return True
+    return False
 
 
 def _dict_iter_source(node: ast.AST) -> Optional[ast.AST]:
@@ -189,78 +410,80 @@ def _dict_mutations(loop: ast.For, source: ast.AST) -> List[ast.AST]:
     return hits
 
 
+def _order_insensitive_iters(tree: ast.AST) -> Set[int]:
+    """ids of comprehension/listing nodes consumed order-insensitively.
+
+    ``sum(1 for f in os.listdir(d))`` or ``max(os.listdir(d))`` never
+    depend on entry order; flagging them would train people to ignore
+    the check.
+    """
+    exempt: Set[int] = set()
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ORDER_INSENSITIVE_CONSUMERS
+            and node.args
+        ):
+            continue
+        arg = node.args[0]
+        exempt.add(id(arg))
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in arg.generators:
+                exempt.add(id(gen.iter))
+    return exempt
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
-    allow: Sequence[Tuple[str, str]] = (),
+    allow: Sequence = (),
+    used: Optional[Set[AllowEntry]] = None,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings."""
     tree = ast.parse(source, filename=path)
     aliases = _collect_aliases(tree)
+    exempt_iters = _order_insensitive_iters(tree)
     findings: List[Finding] = []
 
     def flag(check: str, node: ast.AST, message: str) -> None:
-        if any(part in path for part, c in allow if c == check):
+        location = f"{path}:{getattr(node, 'lineno', 0)}"
+        if allow_match(allow, path, check, location, message, used):
             return
         findings.append(
-            Finding(
-                check,
-                Severity.ERROR,
-                LAYER,
-                f"{path}:{getattr(node, 'lineno', 0)}",
-                message,
-                _HINTS[check],
-            )
+            Finding(check, Severity.ERROR, LAYER, location, message,
+                    _HINTS[check])
         )
 
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
-            dotted = _dotted_path(node.func, aliases)
-            if dotted is None:
-                pass
-            elif dotted in WALL_CLOCK_CALLS:
+            sink = sink_for_call(node, aliases)
+            if sink is not None:
+                flag(sink[0], node, sink[1])
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in SORTING_CALLS
+            ):
+                for kw in node.keywords:
+                    if kw.arg == "key" and _uses_hash(kw.value):
+                        flag(
+                            "hash-ordering", node,
+                            f"{node.func.id}() orders by builtin hash(); "
+                            f"string hashes vary per process under "
+                            f"PYTHONHASHSEED",
+                        )
+        if isinstance(node, ast.For):
+            if _is_bare_set(node.iter):
                 flag(
-                    "wall-clock", node,
-                    f"{dotted}() reads the host clock inside simulation code",
+                    "set-iteration", node,
+                    "for-loop iterates a bare set; order depends on "
+                    "PYTHONHASHSEED",
                 )
-            elif dotted == "numpy.random.default_rng":
-                if not node.args and not node.keywords:
-                    flag(
-                        "unseeded-rng", node,
-                        "default_rng() with no seed draws ambient entropy; "
-                        "runs become unrepeatable",
-                    )
-                elif (
-                    len(node.args) == 1
-                    and not node.keywords
-                    and isinstance(node.args[0], ast.Constant)
-                    and isinstance(node.args[0].value, int)
-                ):
-                    flag(
-                        "unseeded-rng", node,
-                        f"default_rng({node.args[0].value}) hard-codes a "
-                        f"constant seed where the caller's seed should flow",
-                    )
-            elif dotted.startswith("numpy.random."):
-                tail = dotted.rsplit(".", 1)[1]
-                if tail not in RNG_CONSTRUCTORS:
-                    flag(
-                        "global-random", node,
-                        f"{dotted}() draws from numpy's hidden global stream",
-                    )
-            elif dotted.startswith("random."):
-                tail = dotted.rsplit(".", 1)[1]
-                if tail not in STDLIB_RANDOM_OK:
-                    flag(
-                        "global-random", node,
-                        f"{dotted}() draws from the stdlib global stream",
-                    )
-        if isinstance(node, ast.For) and _is_bare_set(node.iter):
-            flag(
-                "set-iteration", node,
-                "for-loop iterates a bare set; order depends on "
-                "PYTHONHASHSEED",
-            )
+            if _is_fs_listing(node.iter, aliases):
+                flag(
+                    "fs-ordering", node,
+                    "for-loop iterates a directory listing in OS order",
+                )
         if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
             for gen in node.generators:
                 if _is_bare_set(gen.iter):
@@ -268,6 +491,15 @@ def lint_source(
                         "set-iteration", node,
                         "comprehension iterates a bare set; order depends "
                         "on PYTHONHASHSEED",
+                    )
+                if (
+                    _is_fs_listing(gen.iter, aliases)
+                    and id(gen.iter) not in exempt_iters
+                ):
+                    flag(
+                        "fs-ordering", node,
+                        "comprehension iterates a directory listing in "
+                        "OS order",
                     )
         if isinstance(node, ast.For):
             source_expr = _dict_iter_source(node.iter)
@@ -284,21 +516,24 @@ def lint_source(
 # file/tree driving                                                     #
 # --------------------------------------------------------------------- #
 
-def load_allowlist(path: str) -> List[Tuple[str, str]]:
-    """Parse ``<path-substring>::<check-id>`` entries (# comments)."""
-    entries: List[Tuple[str, str]] = []
+def load_allowlist(path: str) -> List[AllowEntry]:
+    """Parse ``<path-substring>::<check-id>[::<site-substring>]`` entries."""
+    entries: List[AllowEntry] = []
     with open(path, encoding="utf-8") as fh:
         for raw in fh:
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
-            part, sep, check = line.partition("::")
-            if not sep or not part or not check:
+            fields = [f.strip() for f in line.split("::")]
+            if len(fields) not in (2, 3) or not all(fields):
                 raise ValueError(
                     f"bad allowlist entry {raw.strip()!r} in {path}; "
-                    f"expected '<path-substring>::<check-id>'"
+                    f"expected '<path-substring>::<check-id>"
+                    f"[::<site-substring>]'"
                 )
-            entries.append((part.strip(), check.strip()))
+            part, check = fields[0], fields[1]
+            site = fields[2] if len(fields) == 3 else None
+            entries.append((part, check, site))
     return entries
 
 
@@ -319,9 +554,10 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
 def lint_paths(
     paths: Iterable[str],
     allowlist_file: Optional[str] = DEFAULT_ALLOWLIST,
+    used: Optional[Set[AllowEntry]] = None,
 ) -> List[Finding]:
     """Lint every .py file under ``paths``; returns surviving findings."""
-    allow: List[Tuple[str, str]] = []
+    allow: List[AllowEntry] = []
     if allowlist_file and os.path.exists(allowlist_file):
         allow = load_allowlist(allowlist_file)
     findings: List[Finding] = []
@@ -329,7 +565,141 @@ def lint_paths(
         with open(filename, encoding="utf-8") as fh:
             source = fh.read()
         rel = os.path.relpath(filename).replace(os.sep, "/")
-        findings.extend(lint_source(source, path=rel, allow=allow))
+        findings.extend(lint_source(source, path=rel, allow=allow, used=used))
+    return findings
+
+
+def stale_entries(
+    allow: Sequence,
+    used: Set[AllowEntry],
+    files: Sequence[str],
+    checks_in_scope: Iterable[str],
+) -> List[AllowEntry]:
+    """Allowlist entries that suppressed nothing this run.
+
+    An entry is judged only when the run could have exercised it: its
+    check id must belong to a pass that actually ran, and its path
+    substring must match at least one linted file (entries for files
+    outside the lint scope are neither live nor stale).
+    """
+    scope = set(checks_in_scope)
+    stale: List[AllowEntry] = []
+    for entry in _normalize_allow(allow):
+        if entry in used or entry[1] not in scope:
+            continue
+        if not any(entry[0] in path for path in files):
+            continue
+        stale.append(entry)
+    return stale
+
+
+def prune_allowlist(path: str, stale: Sequence[AllowEntry]) -> int:
+    """Rewrite the allowlist file without the given stale entries."""
+    dead = set(stale)
+    kept: List[str] = []
+    removed = 0
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                fields = [f.strip() for f in line.split("::")]
+                entry = (
+                    fields[0], fields[1],
+                    fields[2] if len(fields) == 3 else None,
+                )
+                if entry in dead:
+                    removed += 1
+                    continue
+            kept.append(raw)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(kept)
+    return removed
+
+
+# --------------------------------------------------------------------- #
+# deep-pass baseline (burn-down file)                                   #
+# --------------------------------------------------------------------- #
+
+def load_baseline(path: str) -> List[Dict[str, str]]:
+    """Parse the committed deep-analysis baseline, if present.
+
+    Schema: ``{"schema": "repro.staticcheck-baseline/v1", "entries":
+    [{"check": ..., "path": ..., "contains": ..., "reason": ...}]}``.
+    ``contains`` is matched against the finding's message, ``path``
+    against its location — line numbers are deliberately absent so the
+    baseline survives unrelated edits.
+    """
+    if not path or not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "repro.staticcheck-baseline/v1":
+        raise ValueError(
+            f"{path}: unknown baseline schema {doc.get('schema')!r}"
+        )
+    entries = doc.get("entries", [])
+    for entry in entries:
+        for field in ("check", "path", "contains"):
+            if field not in entry:
+                raise ValueError(f"{path}: baseline entry missing {field!r}")
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: List[Dict[str, str]]
+) -> Tuple[List[Finding], List[Dict[str, str]]]:
+    """Demote baselined findings to warnings; return (findings, stale).
+
+    A baseline entry matches when its check id equals the finding's,
+    its path is a substring of the finding's location and its
+    ``contains`` text appears in the message.  Entries that match no
+    finding are returned as stale — a burnt-down violation must leave
+    the baseline in the same commit.
+    """
+    matched: Set[int] = set()
+    out: List[Finding] = []
+    for finding in findings:
+        demoted = finding
+        for i, entry in enumerate(baseline):
+            if (
+                entry["check"] == finding.check
+                and entry["path"] in finding.location
+                and entry["contains"] in finding.message
+            ):
+                matched.add(i)
+                if finding.severity == Severity.ERROR:
+                    demoted = dataclasses.replace(
+                        finding, severity=Severity.WARNING,
+                        message=finding.message + " [baselined]",
+                    )
+                break
+        out.append(demoted)
+    stale = [e for i, e in enumerate(baseline) if i not in matched]
+    return out, stale
+
+
+# --------------------------------------------------------------------- #
+# CLI                                                                   #
+# --------------------------------------------------------------------- #
+
+def _deep_findings(
+    paths: Sequence[str],
+    allow: Sequence[AllowEntry],
+    used: Set[AllowEntry],
+) -> List[Finding]:
+    """Run the whole-program analyses over ``paths``."""
+    # Imported lazily: these modules import this one for the sink
+    # catalog and allowlist matcher.
+    from repro.staticcheck.callgraph import build_callgraph
+    from repro.staticcheck.concurrency import check_concurrency
+    from repro.staticcheck.flow import check_flow
+    from repro.staticcheck.pickle_safety import check_pickle_safety
+
+    graph = build_callgraph(paths)
+    findings: List[Finding] = []
+    findings.extend(check_flow(graph, allow=allow, used=used))
+    findings.extend(check_pickle_safety(graph, allow=allow, used=used))
+    findings.extend(check_concurrency(graph, allow=allow, used=used))
     return findings
 
 
@@ -343,18 +713,97 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("paths", nargs="*", default=[default_target])
     parser.add_argument(
         "--allowlist", default=DEFAULT_ALLOWLIST,
-        help="allowlist file (<path-substring>::<check-id> per line)",
+        help="allowlist file (<path-substring>::<check-id>[::<site>] per line)",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="add the whole-program analyses: call-graph determinism "
+             "taint, pickle-boundary safety, concurrency/lifecycle hazards",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="deep-pass burn-down baseline JSON (matches demote to warnings)",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None,
+        help="write the findings report as JSON here",
+    )
+    parser.add_argument(
+        "--sarif", dest="sarif_out", default=None,
+        help="write the findings report as SARIF 2.1.0 here",
+    )
+    parser.add_argument(
+        "--prune", action="store_true",
+        help="rewrite the allowlist without stale entries instead of failing",
     )
     args = parser.parse_args(argv)
-    findings = lint_paths(args.paths, allowlist_file=args.allowlist)
+
+    allow: List[AllowEntry] = []
+    if args.allowlist and os.path.exists(args.allowlist):
+        allow = load_allowlist(args.allowlist)
+    used: Set[AllowEntry] = set()
+    files = [
+        os.path.relpath(f).replace(os.sep, "/")
+        for f in iter_python_files(args.paths)
+    ]
+
+    findings = lint_paths(args.paths, allowlist_file=None, used=used)
+    # lint_paths loads its own allowlist when given a file; here the
+    # entries are shared with the deep pass, so match them in one place.
+    findings = [
+        f for f in findings
+        if not allow_match(
+            allow, f.location.rsplit(":", 1)[0], f.check,
+            f.location, f.message, used,
+        )
+    ]
+
+    scope: List[str] = list(LINT_CHECK_IDS)
+    stale_baseline: List[Dict[str, str]] = []
+    if args.deep:
+        scope += list(DEEP_CHECK_IDS)
+        findings.extend(_deep_findings(args.paths, allow, used))
+        baseline = load_baseline(args.baseline)
+        findings, stale_baseline = apply_baseline(findings, baseline)
+
     for finding in findings:
         print(finding)
-    print(
-        f"determinism lint: {len(findings)} finding(s)"
-        if findings
-        else "determinism lint: clean"
-    )
-    return 1 if findings else 0
+
+    stale = stale_entries(allow, used, files, scope)
+    if stale and args.prune and args.allowlist:
+        removed = prune_allowlist(args.allowlist, stale)
+        print(f"pruned {removed} stale allowlist entr(y/ies) "
+              f"from {args.allowlist}")
+        stale = []
+    for part, check, site in stale:
+        entry = f"{part}::{check}" + (f"::{site}" if site else "")
+        print(
+            f"stale allowlist entry {entry!r}: suppresses nothing — "
+            f"remove it or run with --prune"
+        )
+    for entry in stale_baseline:
+        print(
+            f"stale baseline entry {entry['check']}::{entry['path']}: "
+            f"matches no finding — burnt-down violations must leave "
+            f"{os.path.basename(args.baseline)}"
+        )
+
+    if args.deep or args.json_out or args.sarif_out:
+        print(summary_table(findings, checks=scope))
+    if args.json_out:
+        write_json_file(args.json_out, findings_to_json(findings))
+        print(f"findings -> {args.json_out}")
+    if args.sarif_out:
+        write_json_file(args.sarif_out, findings_to_sarif(findings))
+        print(f"sarif    -> {args.sarif_out}")
+
+    errors = [f for f in findings if f.severity == Severity.ERROR]
+    label = "deep lint" if args.deep else "determinism lint"
+    if errors or findings:
+        print(f"{label}: {len(errors)} error(s) in {len(findings)} finding(s)")
+    else:
+        print(f"{label}: clean")
+    return 1 if errors or stale or stale_baseline else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,154 @@
+"""Interprocedural determinism-taint tests.
+
+Mutation style, like the lint suite: seed a sink N calls away from a
+root and the root must be flagged with the full chain; remove the sink
+(or allowlist it at site granularity) and the flow pass must go quiet.
+The tree-level test is the CI gate's contract: the shipped campaign
+entry points are taint-free under the shipped allowlist.
+"""
+
+import os
+import textwrap
+
+from repro.staticcheck.callgraph import build_callgraph
+from repro.staticcheck.flow import (
+    check_flow,
+    default_roots,
+    function_sinks,
+    propagate_taint,
+)
+from repro.staticcheck.lint import DEFAULT_ALLOWLIST, load_allowlist
+
+
+def graph_for(tmp_path, files):
+    paths = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths.append(str(path))
+    return build_callgraph(paths)
+
+
+class TestTaintPropagation:
+    def test_transitive_sink_taints_root(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            import time
+            def leaf():
+                return time.time()
+            def mid():
+                return leaf()
+            def entry():
+                return mid()
+        """})
+        findings = check_flow(g, roots=["m.entry"])
+        assert [f.check for f in findings] == ["taint-flow"]
+        msg = findings[0].message
+        assert "wall-clock" in msg
+        # The chain names every hop down to the sink site.
+        assert "entry" in msg and "mid" in msg and "leaf" in msg
+
+    def test_clean_chain_is_clean(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            import time
+            def leaf():
+                return time.perf_counter()
+            def entry():
+                return leaf()
+        """})
+        assert check_flow(g, roots=["m.entry"]) == []
+
+    def test_one_finding_per_check_id(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            import time, os
+            def clocky():
+                return time.time()
+            def entropic():
+                return os.urandom(8)
+            def entry():
+                clocky()
+                entropic()
+                clocky()
+        """})
+        findings = check_flow(g, roots=["m.entry"])
+        assert sorted(
+            f.message.split(" sink", 1)[0].rsplit(" ", 1)[-1]
+            for f in findings
+        ) == ["ambient-entropy", "wall-clock"]
+
+    def test_allowlisted_sink_seeds_no_taint(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            import time
+            def shim():
+                return time.time()
+            def entry():
+                return shim()
+        """})
+        used = set()
+        allow = [("m.py", "wall-clock", "time.time")]
+        assert check_flow(g, roots=["m.entry"], allow=allow, used=used) == []
+        assert used  # the entry counted as live
+
+    def test_cross_module_taint(self, tmp_path):
+        g = graph_for(tmp_path, {
+            "pkg/__init__.py": "",
+            "pkg/deep.py": """
+                import random
+                def draw():
+                    return random.random()
+            """,
+            "pkg/entry.py": """
+                from .deep import draw
+                def run():
+                    return draw()
+            """,
+        })
+        findings = check_flow(g, roots=["pkg.entry.run"])
+        assert len(findings) == 1
+        assert "global-random" in findings[0].message
+
+    def test_propagate_taint_fixpoint(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            import time
+            def leaf():
+                return time.time()
+            def a():
+                b()
+            def b():
+                a()
+                leaf()
+        """})
+        taint = propagate_taint(g, function_sinks(g))
+        # Mutual recursion converges; both carry the leaf's taint.
+        assert taint["m.a"] == {"wall-clock"}
+        assert taint["m.b"] == {"wall-clock"}
+
+
+class TestRoots:
+    def test_scheduler_entry_points_are_roots(self, tmp_path):
+        import repro
+
+        src = os.path.dirname(os.path.abspath(repro.__file__))
+        g = build_callgraph([src])
+        roots = default_roots(g)
+        assert "repro.runner.jobs.execute_sim" in roots
+        assert "repro.runner.pool.CampaignRunner.run_batches" in roots
+        assert any(r.startswith("repro.schedulers.heft.") for r in roots)
+        # Roots restricted to methods: module-level helpers are not plans.
+        assert all("." in r for r in roots)
+
+    def test_missing_roots_are_skipped(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": "def f():\n    pass\n"})
+        assert check_flow(g, roots=["not.there"]) == []
+        assert default_roots(g) == []
+
+
+class TestShippedTreeIsTaintFree:
+    def test_campaign_entry_points_are_clean(self):
+        import repro
+
+        src = os.path.dirname(os.path.abspath(repro.__file__))
+        g = build_callgraph([src])
+        allow = load_allowlist(DEFAULT_ALLOWLIST)
+        findings = check_flow(g, allow=allow)
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -197,6 +197,111 @@ class TestDictMutation:
         assert fs == []
 
 
+class TestAmbientEntropy:
+    def test_os_urandom_fires(self):
+        fs = run_lint("""
+            import os
+            token = os.urandom(16)
+        """)
+        assert checks(fs) == {"ambient-entropy"}
+
+    def test_uuid4_fires(self):
+        fs = run_lint("""
+            import uuid
+            run_id = uuid.uuid4()
+        """)
+        assert checks(fs) == {"ambient-entropy"}
+
+    def test_secrets_fires(self):
+        fs = run_lint("""
+            import secrets
+            tag = secrets.token_hex(8)
+        """)
+        assert checks(fs) == {"ambient-entropy"}
+
+    def test_seed_derived_id_is_clean(self):
+        fs = run_lint("""
+            import hashlib
+            def run_id(seed):
+                return hashlib.sha256(str(seed).encode()).hexdigest()[:12]
+        """)
+        assert fs == []
+
+    def test_time_ns_is_wall_clock(self):
+        fs = run_lint("""
+            import time
+            stamp = time.time_ns()
+        """)
+        assert checks(fs) == {"wall-clock"}
+
+
+class TestHashOrdering:
+    def test_sorted_key_hash_fires(self):
+        fs = run_lint("""
+            def stable(names):
+                return sorted(names, key=hash)
+        """)
+        assert checks(fs) == {"hash-ordering"}
+
+    def test_lambda_wrapping_hash_fires(self):
+        fs = run_lint("""
+            def stable(pairs):
+                return sorted(pairs, key=lambda p: hash(p[0]))
+        """)
+        assert checks(fs) == {"hash-ordering"}
+
+    def test_min_key_hash_fires(self):
+        fs = run_lint("""
+            def pick(names):
+                return min(names, key=hash)
+        """)
+        assert checks(fs) == {"hash-ordering"}
+
+    def test_value_key_is_clean(self):
+        fs = run_lint("""
+            def stable(pairs):
+                return sorted(pairs, key=lambda p: p[0])
+        """)
+        assert fs == []
+
+
+class TestFsOrdering:
+    def test_for_loop_over_listdir_fires(self):
+        fs = run_lint("""
+            import os
+            def names(d):
+                out = []
+                for name in os.listdir(d):
+                    out.append(name)
+                return out
+        """)
+        assert checks(fs) == {"fs-ordering"}
+
+    def test_comprehension_over_glob_fires(self):
+        fs = run_lint("""
+            import glob
+            def shards(d):
+                return [p for p in glob.glob(d + "/*.jsonl")]
+        """)
+        assert checks(fs) == {"fs-ordering"}
+
+    def test_sorted_listing_is_clean(self):
+        fs = run_lint("""
+            import os
+            def names(d):
+                return [n for n in sorted(os.listdir(d))]
+        """)
+        assert fs == []
+
+    def test_order_insensitive_reduction_is_clean(self):
+        fs = run_lint("""
+            import os
+            def count(d):
+                return sum(1 for f in os.listdir(d) if f.endswith(".json"))
+        """)
+        assert fs == []
+
+
 class TestAllowlist:
     def test_allow_entry_suppresses_matching_check(self):
         snippet = """
@@ -215,17 +320,223 @@ class TestAllowlist:
             "# comment\n"
             "src/foo.py::wall-clock  # trailing comment\n"
             "\n"
-            "bar::set-iteration\n",
+            "bar::set-iteration\n"
+            "src/baz.py::worker-global-mutation::_memo  # sited entry\n",
             encoding="utf-8",
         )
         assert load_allowlist(str(good)) == [
-            ("src/foo.py", "wall-clock"),
-            ("bar", "set-iteration"),
+            ("src/foo.py", "wall-clock", None),
+            ("bar", "set-iteration", None),
+            ("src/baz.py", "worker-global-mutation", "_memo"),
         ]
         bad = tmp_path / "bad.txt"
         bad.write_text("no-separator-here\n", encoding="utf-8")
         with pytest.raises(ValueError):
             load_allowlist(str(bad))
+
+    def test_sited_entry_suppresses_only_its_site(self):
+        snippet = """
+            import time
+            now = time.time()
+        """
+        # Site substring present in the message -> suppressed.
+        assert run_lint(
+            snippet, allow=[("mod.py", "wall-clock", "time.time")]
+        ) == []
+        # Site substring matching the location line also suppresses.
+        assert run_lint(
+            snippet, allow=[("mod.py", "wall-clock", "mod.py:3")]
+        ) == []
+        # Non-matching site leaves the finding alone.
+        assert run_lint(
+            snippet, allow=[("mod.py", "wall-clock", "monotonic")]
+        ) != []
+
+    def test_allow_match_records_used_entries(self):
+        from repro.staticcheck.lint import allow_match
+
+        used = set()
+        assert allow_match(
+            [("mod.py", "wall-clock", None)], "mod.py", "wall-clock",
+            used=used,
+        )
+        assert used == {("mod.py", "wall-clock", None)}
+
+
+class TestStaleAllowlist:
+    def test_stale_entry_fails_and_prune_fixes(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nnow = time.time()\n",
+                          encoding="utf-8")
+        allowfile = tmp_path / "allow.txt"
+        allowfile.write_text(
+            "mod.py::wall-clock  # live\n"
+            "mod.py::set-iteration  # stale: nothing to suppress\n",
+            encoding="utf-8",
+        )
+        rc = lint_main([str(target), "--allowlist", str(allowfile)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale allowlist entry" in out
+        assert "--prune" in out
+        # --prune rewrites the file and the run goes green.
+        rc = lint_main([str(target), "--allowlist", str(allowfile),
+                        "--prune"])
+        assert rc == 0
+        kept = allowfile.read_text(encoding="utf-8")
+        assert "wall-clock" in kept and "set-iteration" not in kept
+
+    def test_out_of_scope_entries_are_not_stale(self, tmp_path):
+        # An entry whose path matches no linted file is neither live nor
+        # stale — the packaged allowlist must not trip runs on tmp trees.
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        allowfile = tmp_path / "allow.txt"
+        allowfile.write_text("src/repro/observe/clock.py::wall-clock\n",
+                             encoding="utf-8")
+        assert lint_main([str(target), "--allowlist", str(allowfile)]) == 0
+
+    def test_deep_check_entries_need_deep_run_to_go_stale(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        allowfile = tmp_path / "allow.txt"
+        allowfile.write_text("mod.py::taint-flow\n", encoding="utf-8")
+        # Shallow run: taint-flow never ran, entry is out of scope.
+        assert lint_main([str(target), "--allowlist", str(allowfile)]) == 0
+        # Deep run: the check ran, suppressed nothing -> stale.
+        assert lint_main([str(target), "--allowlist", str(allowfile),
+                          "--deep"]) == 1
+
+
+class TestBaseline:
+    def write_baseline(self, tmp_path, entries):
+        import json
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "schema": "repro.staticcheck-baseline/v1",
+            "entries": entries,
+        }), encoding="utf-8")
+        return str(path)
+
+    def test_baselined_finding_demotes_to_warning(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def payload(x):\n    return {'fn': lambda: x}\n",
+            encoding="utf-8",
+        )
+        baseline = self.write_baseline(tmp_path, [{
+            "check": "pickle-lambda", "path": "mod.py",
+            "contains": "lambda",
+            "reason": "legacy; burn-down tracked in ISSUE",
+        }])
+        json_out = tmp_path / "f.json"
+        # Without the baseline the deep finding fails the run...
+        assert lint_main([
+            str(target), "--deep",
+            "--allowlist", os.path.join(str(tmp_path), "none.txt"),
+        ]) == 1
+        capsys.readouterr()
+        # ...with it, the finding demotes to a warning (not dropped).
+        rc = lint_main([
+            str(target), "--deep", "--baseline", baseline,
+            "--allowlist", os.path.join(str(tmp_path), "none.txt"),
+            "--json", str(json_out),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[baselined]" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["counts"] == {"error": 0, "warning": 1, "total": 1}
+
+    def test_stale_baseline_entry_fails(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        baseline = self.write_baseline(tmp_path, [{
+            "check": "taint-flow", "path": "gone.py",
+            "contains": "wall-clock", "reason": "burnt down",
+        }])
+        rc = lint_main([str(target), "--deep", "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale baseline entry" in out
+
+    def test_bad_schema_rejected(self, tmp_path):
+        import json
+
+        from repro.staticcheck.lint import load_baseline
+
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "nope/v9", "entries": []}),
+                        encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_shipped_baseline_is_empty(self):
+        # The deep gate currently has zero legacy debt; anything that
+        # lands in the baseline must be a deliberate burn-down decision.
+        from repro.staticcheck.lint import DEFAULT_BASELINE, load_baseline
+
+        assert load_baseline(DEFAULT_BASELINE) == []
+
+
+class TestExports:
+    def findings(self):
+        return lint_source(
+            "import time\nnow = time.time()\n", path="src/mod.py"
+        )
+
+    def test_json_export_schema(self):
+        from repro.staticcheck.findings import findings_to_json
+
+        doc = findings_to_json(self.findings())
+        assert doc["schema"] == "repro.staticcheck-findings/v1"
+        assert doc["counts"] == {"error": 1, "warning": 0, "total": 1}
+        assert doc["findings"][0]["check"] == "wall-clock"
+        assert doc["findings"][0]["location"] == "src/mod.py:2"
+
+    def test_sarif_export_shape(self):
+        from repro.staticcheck.findings import findings_to_sarif
+
+        doc = findings_to_sarif(self.findings())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-staticcheck"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            "wall-clock"
+        ]
+        result = run["results"][0]
+        assert result["ruleId"] == "wall-clock"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/mod.py"
+        assert loc["region"]["startLine"] == 2
+
+    def test_summary_table_shows_zero_rows(self):
+        from repro.staticcheck.findings import summary_table
+
+        table = summary_table(self.findings(),
+                              checks=["wall-clock", "taint-flow"])
+        lines = table.splitlines()
+        assert any("wall-clock" in l and " 1" in l for l in lines)
+        assert any("taint-flow" in l and " 0" in l for l in lines)
+
+    def test_cli_writes_both_reports(self, tmp_path):
+        import json
+
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nnow = time.time()\n",
+                          encoding="utf-8")
+        json_out = tmp_path / "out" / "findings.json"
+        sarif_out = tmp_path / "out" / "findings.sarif"
+        rc = lint_main([str(target), "--json", str(json_out),
+                        "--sarif", str(sarif_out)])
+        assert rc == 1
+        assert json.loads(json_out.read_text())["counts"]["error"] == 1
+        sarif = json.loads(sarif_out.read_text())
+        assert sarif["runs"][0]["results"][0]["ruleId"] == "wall-clock"
 
 
 class TestTreeLint:

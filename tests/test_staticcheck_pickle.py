@@ -1,0 +1,170 @@
+"""Pickle-boundary checker tests (mutation style).
+
+Each check id gets a seeded violation that must fire and a blessed
+plain-data idiom that must stay quiet; the tree-level test pins the
+shipped runner to the contract: worker payloads are plain data and pool
+targets are module-level functions.
+"""
+
+import os
+import textwrap
+
+from repro.staticcheck.callgraph import build_callgraph
+from repro.staticcheck.pickle_safety import (
+    check_pickle_safety,
+    payload_builders,
+)
+
+
+def graph_for(tmp_path, files):
+    paths = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths.append(str(path))
+    return build_callgraph(paths)
+
+
+def checks(findings):
+    return {f.check for f in findings}
+
+
+class TestBuilderDiscovery:
+    def test_convention_names_are_found(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            class Job:
+                def payload(self):
+                    return {}
+            def _payload_for(job):
+                return {}
+            def unrelated():
+                return {}
+        """})
+        assert payload_builders(g) == ["m.Job.payload", "m._payload_for"]
+
+
+class TestPayloadValues:
+    def test_lambda_in_payload_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def payload(x):
+                return {"fn": lambda: x}
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-lambda"}
+
+    def test_local_def_in_payload_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def payload(x):
+                def helper():
+                    return x
+                return {"fn": helper}
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-local-def"}
+
+    def test_open_handle_in_payload_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def payload(path):
+                fh = open(path)
+                return {"handle": fh}
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-open-handle"}
+
+    def test_inline_open_in_payload_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def payload(path):
+                return {"handle": open(path)}
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-open-handle"}
+
+    def test_module_state_in_payload_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            _CACHE = {}
+            def payload(x):
+                return {"cache": _CACHE}
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-module-state"}
+
+    def test_violation_in_callee_of_builder_fires(self, tmp_path):
+        # The cone matters: the bad store sits one call away.
+        g = graph_for(tmp_path, {"m.py": """
+            def fill(out, x):
+                out["fn"] = lambda: x
+                return out
+            def payload(x):
+                return fill({}, x)
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-lambda"}
+
+    def test_plain_data_payload_is_clean(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def payload(job):
+                return {
+                    "kind": "sim",
+                    "seed": job,
+                    "sizes": [1, 2, 3],
+                    "spec": {"name": "heft"},
+                }
+        """})
+        assert check_pickle_safety(g) == []
+
+    def test_immutable_module_constant_is_clean(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            VERSION = "v1"
+            LIMITS = (1, 2)
+            def payload(x):
+                return {"version": VERSION, "limits": LIMITS}
+        """})
+        assert check_pickle_safety(g) == []
+
+
+class TestPoolTargets:
+    def test_lambda_target_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def drive(pool, items):
+                return pool.map(lambda x: x + 1, items)
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-unpicklable-target"}
+
+    def test_nested_def_target_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def drive(pool, items):
+                def work(x):
+                    return x + 1
+                return pool.imap_unordered(work, items)
+        """})
+        assert checks(check_pickle_safety(g)) == {"pickle-unpicklable-target"}
+
+    def test_module_level_target_is_clean(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            def work(x):
+                return x + 1
+            def drive(pool, items):
+                return pool.imap_unordered(work, items)
+        """})
+        assert check_pickle_safety(g) == []
+
+
+class TestAllowlist:
+    def test_sited_entry_suppresses(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            _CACHE = {}
+            def payload(x):
+                return {"cache": _CACHE}
+        """})
+        used = set()
+        allow = [("m.py", "pickle-module-state", "_CACHE")]
+        assert check_pickle_safety(g, allow=allow, used=used) == []
+        assert used
+
+
+class TestShippedRunnerHonoursContract:
+    def test_src_repro_payloads_are_plain_data(self):
+        import repro
+
+        src = os.path.dirname(os.path.abspath(repro.__file__))
+        g = build_callgraph([src])
+        builders = payload_builders(g)
+        # The real builders are in the graph, not just test doubles.
+        assert "repro.runner.jobs.SimJob.payload" in builders
+        findings = check_pickle_safety(g)
+        assert findings == [], "\n".join(str(f) for f in findings)
