@@ -10,6 +10,10 @@ Subcommands:
   its tables/series.
 * ``campaign`` — run several experiments through one shared process pool
   and result cache, printing a timing/cache summary.
+* ``serve`` — run the campaign service API over a job store: submit
+  campaigns and query cell states over HTTP (see :mod:`repro.service`).
+* ``worker`` — run a lease-based service worker against the same store,
+  executing cells into the shared result cache.
 * ``generate`` — emit a workflow as JSON for inspection or reuse.
 * ``check`` — statically check a (workflow, cluster, scheduler) cell
   without simulating: model checker + schedule audit, nonzero exit on
@@ -147,6 +151,35 @@ def cmd_compare(args) -> int:
     print(f"{wf.name} on {cluster.describe()}")
     print(table.render())
     return 0
+
+
+def validate_runner_args(args) -> Optional[str]:
+    """Up-front validation of flag combinations; the problem, or None.
+
+    Runs right after parsing, before any pool/store/cache is touched, so
+    a bad combination fails in milliseconds with a clear message instead
+    of surfacing after pool spawn.  Shared by ``exp``/``campaign`` and
+    the service commands (``worker``/``serve``), which reuse the same
+    cache flags; :func:`_campaign_runner` keeps the same check as a
+    backstop for programmatic callers.
+    """
+    resume = getattr(args, "resume", False)
+    cache_dir = getattr(args, "cache_dir", None)
+    no_cache = getattr(args, "no_cache", False)
+    if resume and (not cache_dir or no_cache):
+        return (
+            "--resume needs --cache-dir (and no --no-cache): the cache's "
+            "shard index is the record of completed cells"
+        )
+    if no_cache and not cache_dir:
+        return "--no-cache without --cache-dir has nothing to disable"
+    if getattr(args, "command", None) == "worker" and not cache_dir:
+        return (
+            "worker needs --cache-dir: the shared result cache is where "
+            "completed cells live (and what makes service records "
+            "byte-identical to inline runs)"
+        )
+    return None
 
 
 def _campaign_runner(args):
@@ -315,6 +348,55 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the campaign service JSON API over a job store."""
+    from repro.service.api import serve
+    from repro.service.store import JobStore
+
+    store = JobStore(args.store)
+    try:
+        serve(store, host=args.host, port=args.port, emit=print)
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_worker(args) -> int:
+    """Run one lease-based worker against a job store + shared cache."""
+    from repro.runner import CampaignRunner, ResultCache
+    from repro.service.store import JobStore
+    from repro.service.worker import ServiceWorker
+
+    store = JobStore(args.store)
+    runner = CampaignRunner(
+        jobs=max(args.jobs, 1),
+        cache=ResultCache(args.cache_dir),
+        max_retries=max(args.max_retries or 0, 0),
+        failure_mode="record",
+        on_unhealthy=args.on_unhealthy,
+        retry_failed=args.retry_failed,
+    )
+    worker = ServiceWorker(
+        store, runner,
+        worker_id=args.worker_id,
+        batch=max(args.batch, 1),
+        ttl=max(args.ttl, 1),
+        stall_after=args.stall_after,
+        stall_marker=args.stall_marker,
+        emit=print,
+    )
+    try:
+        with runner:
+            stats = worker.run(
+                keep_alive=args.keep_alive, max_polls=args.max_polls
+            )
+    finally:
+        store.close()
+    for key, value in stats.as_dict().items():
+        print(f"{key:12s}: {value}")
+    return 1 if stats.halted else 0
+
+
 def cmd_generate(args) -> int:
     """Emit a workflow document as JSON."""
     wf = by_name(args.workflow, size=args.size, seed=args.seed)
@@ -478,6 +560,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(p_camp)
     p_camp.set_defaults(func=cmd_campaign)
 
+    p_srv = sub.add_parser(
+        "serve", help="run the campaign service JSON API"
+    )
+    p_srv.add_argument("--store", required=True,
+                       help="path of the sqlite job-store file")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free one)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_wrk = sub.add_parser(
+        "worker", help="run a lease-based campaign service worker"
+    )
+    p_wrk.add_argument("--store", required=True,
+                       help="path of the sqlite job-store file")
+    p_wrk.add_argument("--cache-dir", required=True,
+                       help="shared on-disk result cache directory")
+    p_wrk.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for simulation cells")
+    p_wrk.add_argument("--max-retries", type=int, default=2,
+                       help="retry transient cell failures up to N times "
+                            "before quarantining")
+    p_wrk.add_argument("--on-unhealthy", default="throttle",
+                       choices=("throttle", "halt", "ignore"),
+                       help="health-gate response to a degraded/unstable "
+                            "campaign (blocked always halts)")
+    p_wrk.add_argument("--retry-failed", action="store_true",
+                       help="re-run cells whose failure is cached instead "
+                            "of recalling the cached failure")
+    p_wrk.add_argument("--worker-id", default=None,
+                       help="stable worker identity (default: w<pid>)")
+    p_wrk.add_argument("--batch", type=int, default=8,
+                       help="cells leased per poll")
+    p_wrk.add_argument("--ttl", type=int, default=12,
+                       help="lease time-to-live in logical store ticks")
+    p_wrk.add_argument("--keep-alive", action="store_true",
+                       help="keep polling after the store drains "
+                            "(daemon mode; default exits on drain)")
+    p_wrk.add_argument("--max-polls", type=int, default=None,
+                       help="hard bound on store polls (safety net)")
+    p_wrk.add_argument("--stall-after", type=int, default=None,
+                       help=argparse.SUPPRESS)  # crash-harness hook
+    p_wrk.add_argument("--stall-marker", default=None,
+                       help=argparse.SUPPRESS)  # crash-harness hook
+    p_wrk.set_defaults(func=cmd_worker)
+
     p_gen = sub.add_parser("generate", help="emit a workflow as JSON")
     p_gen.add_argument("--workflow", default="montage",
                        choices=sorted(ALL_GENERATORS))
@@ -548,6 +676,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    problem = validate_runner_args(args)
+    if problem:
+        parser.error(problem)  # exits 2 with usage, before any pool spawn
     return args.func(args)
 
 

@@ -16,10 +16,16 @@ health gate decides from its own history and merely *reports* here).
 The log is bounded (:data:`MAX_EVENTS`, oldest dropped) so a
 million-cell campaign cannot grow it without limit; the drop count is
 reported in :func:`events_snapshot` so truncation is never silent.
+
+Emission is thread-safe: the campaign service's HTTP handler threads
+emit concurrently with the serving loop, so the seq/drop accounting and
+the append run under one process-wide lock (uncontended in the common
+single-threaded case).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, List
 
@@ -32,6 +38,8 @@ MAX_EVENTS = 4096
 _log: Deque[Dict[str, object]] = deque(maxlen=MAX_EVENTS)
 _seq = 0
 _dropped = 0
+#: Serializes seq/drop accounting against concurrent emitter threads.
+_lock = threading.Lock()
 
 
 def emit_event(kind: str, **fields: object) -> Dict[str, object]:
@@ -42,12 +50,13 @@ def emit_event(kind: str, **fields: object) -> Dict[str, object]:
     monotone ``seq`` so interleaved emitters stay ordered.
     """
     global _seq, _dropped
-    if len(_log) == _log.maxlen:
-        _dropped += 1
-    event: Dict[str, object] = {"kind": kind, "seq": _seq}
-    event.update(fields)
-    _seq += 1
-    _log.append(event)
+    with _lock:
+        if len(_log) == _log.maxlen:
+            _dropped += 1
+        event: Dict[str, object] = {"kind": kind, "seq": _seq}
+        event.update(fields)
+        _seq += 1
+        _log.append(event)
     return event
 
 
@@ -71,6 +80,7 @@ def events_snapshot() -> Dict[str, object]:
 def clear_events() -> None:
     """Reset the log (test isolation; campaign boundaries)."""
     global _seq, _dropped
-    _log.clear()
-    _seq = 0
-    _dropped = 0
+    with _lock:
+        _log.clear()
+        _seq = 0
+        _dropped = 0

@@ -1,0 +1,129 @@
+"""Wire schemas of the campaign service: JSON in, JSON out, versioned.
+
+Everything that crosses the service boundary — an HTTP request body, a
+job-store row, a status response — is a schema-tagged JSON document.
+**No pickle anywhere**: a submitted cell is the same data description a
+:class:`~repro.runner.jobs.SimJob` already is (serialized workflow
+document, cluster factory spec, scheduler name/spec, run-config dict),
+so the server stores exactly what the worker rebuilds, and rebuilding
+goes through the one construction path that makes records bit-identical
+across inline, pooled and service execution.
+
+Validation philosophy: reject early with a message that names the field.
+A malformed submission never reaches the store; a malformed store row
+(hand-edited database) fails loudly at lease time, not as a worker
+crash three layers down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.runner.jobs import SimJob
+
+#: Schema tag of a campaign submission request body.
+SUBMIT_SCHEMA = "repro.service.submit/v1"
+#: Schema tag of every response envelope the API emits.
+RESPONSE_SCHEMA = "repro.service.response/v1"
+#: Schema tag of a serialized cell (one job-store row's ``job`` column).
+CELL_SCHEMA = "repro.service.cell/v1"
+#: Schema tag of a whole-store JSON dump (the CI artifact).
+DUMP_SCHEMA = "repro.service.dump/v1"
+
+
+class WireError(ValueError):
+    """A request or stored document that violates the wire schema."""
+
+
+def _require(payload: Dict[str, Any], field: str, types, where: str):
+    """The field's value, or a :class:`WireError` naming what is wrong."""
+    if field not in payload:
+        raise WireError(f"{where}: missing required field {field!r}")
+    value = payload[field]
+    if not isinstance(value, types):
+        names = (
+            types.__name__ if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        raise WireError(
+            f"{where}: field {field!r} must be {names}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def job_to_wire(job: SimJob) -> Dict[str, Any]:
+    """Serialize one simulation cell for the store / the HTTP boundary."""
+    return {
+        "schema": CELL_SCHEMA,
+        "workflow": job.workflow,
+        "cluster": job.cluster,
+        "scheduler": job.scheduler,
+        "config": job.config,
+        "label": job.label,
+    }
+
+
+def job_from_wire(payload: Dict[str, Any], where: str = "cell") -> SimJob:
+    """Rebuild the :class:`SimJob` a wire/store document describes."""
+    if not isinstance(payload, dict):
+        raise WireError(f"{where}: must be a JSON object")
+    schema = payload.get("schema", CELL_SCHEMA)
+    if schema != CELL_SCHEMA:
+        raise WireError(f"{where}: unknown cell schema {schema!r}")
+    workflow = _require(payload, "workflow", dict, where)
+    cluster = _require(payload, "cluster", dict, where)
+    scheduler = _require(payload, "scheduler", (str, dict), where)
+    config = payload.get("config", {})
+    if not isinstance(config, dict):
+        raise WireError(f"{where}: field 'config' must be an object")
+    label = payload.get("label", "")
+    if not isinstance(label, str):
+        raise WireError(f"{where}: field 'label' must be a string")
+    return SimJob(
+        workflow=workflow, cluster=cluster, scheduler=scheduler,
+        config=config, label=label,
+    )
+
+
+def submission_to_wire(name: str, jobs: List[SimJob]) -> Dict[str, Any]:
+    """A submission request body for the given cells (client helper)."""
+    return {
+        "schema": SUBMIT_SCHEMA,
+        "name": name,
+        "cells": [job_to_wire(job) for job in jobs],
+    }
+
+
+def parse_submission(payload: Any) -> Tuple[str, List[SimJob]]:
+    """Validate a submission body; ``(campaign name, cells)`` or raise.
+
+    Every cell is rebuilt through :func:`job_from_wire` here, at the
+    boundary, so a submission that parses is a submission whose cells a
+    worker can execute.
+    """
+    if not isinstance(payload, dict):
+        raise WireError("submission: body must be a JSON object")
+    schema = payload.get("schema")
+    if schema != SUBMIT_SCHEMA:
+        raise WireError(
+            f"submission: expected schema {SUBMIT_SCHEMA!r}, got {schema!r}"
+        )
+    name = _require(payload, "name", str, "submission")
+    if not name:
+        raise WireError("submission: campaign name must be non-empty")
+    cells = _require(payload, "cells", list, "submission")
+    if not cells:
+        raise WireError("submission: at least one cell is required")
+    jobs = [
+        job_from_wire(cell, where=f"cells[{i}]")
+        for i, cell in enumerate(cells)
+    ]
+    return name, jobs
+
+
+def response(ok: bool, **fields: Any) -> Dict[str, Any]:
+    """The uniform response envelope every endpoint returns."""
+    body: Dict[str, Any] = {"schema": RESPONSE_SCHEMA, "ok": ok}
+    body.update(fields)
+    return body

@@ -27,6 +27,15 @@ Three bug classes PRs 5–7 met in the wild, now machine-checked:
   be a *deliberate* taxonomy decision, and raising ``BaseException``
   family members (``SystemExit``, ``KeyboardInterrupt``) escapes the
   ``except Exception`` failure capture entirely.
+* ``thread-shared-mutation`` — the in-process sibling of
+  ``worker-global-mutation``, introduced with the campaign service:
+  module- or class-level state mutated by code reachable from functions
+  that run on *threads sharing one interpreter* — the HTTP API's
+  handler threads and the service worker's store-polling loop.  There
+  the hazard is not divergence but a data race.  Mutations lexically
+  inside a ``with <...lock...>:`` block are accepted (the one static
+  shape that proves intent); anything else needs a written allowlist
+  justification (e.g. a GIL-atomic memo store that at worst recomputes).
 """
 
 from __future__ import annotations
@@ -108,8 +117,40 @@ UNCLASSIFIABLE_NAMES = {
 }
 
 
+#: Entry points that run on threads sharing one interpreter: the HTTP
+#: API's per-request handler threads and the worker daemon's poll loop
+#: (which shares its process with heartbeat-time store access).
+DEFAULT_THREAD_ROOTS = (
+    "repro.service.api.ServiceHandler.do_GET",
+    "repro.service.api.ServiceHandler.do_POST",
+    "repro.service.worker.ServiceWorker.run",
+    # The graph cannot resolve `self.server.store.submit()`-style
+    # instance-attribute chains, so the shared JobStore's public surface
+    # is rooted explicitly: every one of these runs on whichever handler
+    # thread (or worker loop) called it.
+    "repro.service.store.JobStore.submit",
+    "repro.service.store.JobStore.lease",
+    "repro.service.store.JobStore.mark_running",
+    "repro.service.store.JobStore.heartbeat",
+    "repro.service.store.JobStore.release",
+    "repro.service.store.JobStore.reclaim_expired",
+    "repro.service.store.JobStore.complete",
+    "repro.service.store.JobStore.tick",
+    "repro.service.store.JobStore.counts",
+    "repro.service.store.JobStore.campaign",
+    "repro.service.store.JobStore.campaigns",
+    "repro.service.store.JobStore.cells",
+    "repro.service.store.JobStore.cell",
+    "repro.service.store.JobStore.dump",
+)
+
+
 def default_worker_roots(graph: CallGraph) -> List[str]:
     return [r for r in DEFAULT_WORKER_ROOTS if r in graph.functions]
+
+
+def default_thread_roots(graph: CallGraph) -> List[str]:
+    return [r for r in DEFAULT_THREAD_ROOTS if r in graph.functions]
 
 
 # ------------------------------------------------------------------ #
@@ -164,6 +205,88 @@ def _resolve_class(graph: CallGraph, module, node: ast.AST) -> Optional[str]:
 
 
 # ------------------------------------------------------------------ #
+# shared-state mutation scanning                                     #
+# ------------------------------------------------------------------ #
+
+def _state_mutations(
+    graph: CallGraph, qual: str
+) -> Tuple[Optional[object], List[Tuple[ast.AST, str]]]:
+    """``(module, [(node, what), ...])`` mutation sites in one function.
+
+    A site is a mutation of state that outlives the call: a ``global``
+    rebind, a subscript store / delete / mutating method call on a
+    module-level container, or an assignment to a class attribute.
+    The *meaning* of a site (process divergence vs. thread race) is the
+    caller's to judge.
+    """
+    info = graph.functions[qual]
+    module = graph.modules.get(info.module)
+    if module is None:
+        return None, []
+    declared_global: Set[str] = set()
+    for node in local_nodes(info.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    local = _local_bindings(info) - declared_global
+    sites: List[Tuple[ast.AST, str]] = []
+
+    def is_module_state(node: ast.AST) -> Optional[str]:
+        if (
+            isinstance(node, ast.Name)
+            and node.id not in local
+            and (node.id in module.globals or node.id in declared_global)
+        ):
+            return node.id
+        return None
+
+    for node in local_nodes(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    sites.append((node, f"module global {target.id!r}"))
+                elif isinstance(target, ast.Subscript):
+                    name = is_module_state(target.value)
+                    if name is not None:
+                        sites.append(
+                            (node, f"module-level container {name!r}")
+                        )
+                elif isinstance(target, ast.Attribute):
+                    cls = _resolve_class(graph, module, target.value)
+                    if cls is not None:
+                        sites.append(
+                            (node, f"class attribute {cls}.{target.attr}")
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = is_module_state(target.value)
+                    if name is not None:
+                        sites.append(
+                            (node, f"module-level container {name!r}")
+                        )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+        ):
+            name = is_module_state(node.func.value)
+            if name is not None:
+                sites.append((
+                    node,
+                    f"module-level container {name!r} "
+                    f"(.{node.func.attr}())",
+                ))
+    return module, sites
+
+
+# ------------------------------------------------------------------ #
 # worker-global-mutation                                             #
 # ------------------------------------------------------------------ #
 
@@ -181,25 +304,10 @@ def check_worker_mutation(
     findings: List[Finding] = []
     for qual in sorted(graph.reachable(roots)):
         info = graph.functions[qual]
-        module = graph.modules.get(info.module)
+        module, sites = _state_mutations(graph, qual)
         if module is None:
             continue
-        declared_global: Set[str] = set()
-        for node in local_nodes(info.node):
-            if isinstance(node, ast.Global):
-                declared_global.update(node.names)
-        local = _local_bindings(info) - declared_global
-
-        def is_module_state(node: ast.AST) -> Optional[str]:
-            if (
-                isinstance(node, ast.Name)
-                and node.id not in local
-                and (node.id in module.globals or node.id in declared_global)
-            ):
-                return node.id
-            return None
-
-        def flag(node: ast.AST, what: str) -> None:
+        for node, what in sites:
             lineno = getattr(node, "lineno", info.lineno)
             location = f"{module.path}:{lineno}"
             message = (
@@ -210,55 +318,94 @@ def check_worker_mutation(
                 allow, module.path, "worker-global-mutation",
                 location, message, used,
             ):
-                return
+                continue
             findings.append(Finding(
                 "worker-global-mutation", Severity.ERROR, LAYER, location,
                 message,
                 "make the state per-call, or allowlist with a written "
                 "justification if it is a deliberate per-process memo",
             ))
+    return findings
 
-        for node in local_nodes(info.node):
-            if isinstance(node, (ast.Assign, ast.AugAssign)):
-                targets = (
-                    node.targets if isinstance(node, ast.Assign)
-                    else [node.target]
+
+# ------------------------------------------------------------------ #
+# thread-shared-mutation                                             #
+# ------------------------------------------------------------------ #
+
+def _mentions_lock(expr: ast.AST) -> bool:
+    """Whether an expression's names make it recognizably a lock."""
+    for sub in ast.walk(expr):
+        name = (
+            sub.id if isinstance(sub, ast.Name)
+            else sub.attr if isinstance(sub, ast.Attribute)
+            else ""
+        )
+        if "lock" in name.lower():
+            return True
+    return False
+
+
+def _lock_guarded_ranges(info: FunctionInfo) -> List[Tuple[int, int]]:
+    """Line ranges of ``with`` blocks whose context names a lock."""
+    ranges: List[Tuple[int, int]] = []
+    for node in local_nodes(info.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(_mentions_lock(item.context_expr) for item in node.items):
+                ranges.append(
+                    (node.lineno, getattr(node, "end_lineno", node.lineno)
+                     or node.lineno)
                 )
-                for target in targets:
-                    if (
-                        isinstance(target, ast.Name)
-                        and target.id in declared_global
-                    ):
-                        flag(node, f"module global {target.id!r}")
-                    elif isinstance(target, ast.Subscript):
-                        name = is_module_state(target.value)
-                        if name is not None:
-                            flag(node, f"module-level container {name!r}")
-                    elif isinstance(target, ast.Attribute):
-                        cls = _resolve_class(graph, module, target.value)
-                        if cls is not None:
-                            flag(
-                                node,
-                                f"class attribute {cls}.{target.attr}",
-                            )
-            elif isinstance(node, ast.Delete):
-                for target in node.targets:
-                    if isinstance(target, ast.Subscript):
-                        name = is_module_state(target.value)
-                        if name is not None:
-                            flag(node, f"module-level container {name!r}")
-            elif (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in MUTATOR_METHODS
+    return ranges
+
+
+def check_thread_mutation(
+    graph: CallGraph,
+    thread_roots: Optional[Iterable[str]] = None,
+    allow: Sequence = (),
+    used: Optional[Set] = None,
+) -> List[Finding]:
+    """Unlocked shared-state mutation reachable from thread entry points.
+
+    The in-process sibling of :func:`check_worker_mutation`: the roots
+    run on threads sharing one interpreter (HTTP handler threads, the
+    service worker's loop), so a module-global mutation is a data race,
+    not a divergence.  Mutations lexically inside a ``with <...lock...>``
+    block pass — naming the guard is the one static shape that proves
+    the race was considered; everything else is flagged (or allowlisted
+    with a written justification, e.g. GIL-atomic memo stores).
+    """
+    roots = (
+        list(thread_roots) if thread_roots is not None
+        else default_thread_roots(graph)
+    )
+    findings: List[Finding] = []
+    for qual in sorted(graph.reachable(roots)):
+        info = graph.functions[qual]
+        module, sites = _state_mutations(graph, qual)
+        if module is None:
+            continue
+        guarded = _lock_guarded_ranges(info)
+        for node, what in sites:
+            lineno = getattr(node, "lineno", info.lineno)
+            if any(lo <= lineno <= hi for lo, hi in guarded):
+                continue
+            location = f"{module.path}:{lineno}"
+            message = (
+                f"thread-reachable {qual} mutates {what} outside any "
+                f"lock; threads sharing the interpreter race on it"
+            )
+            if allow_match(
+                allow, module.path, "thread-shared-mutation",
+                location, message, used,
             ):
-                name = is_module_state(node.func.value)
-                if name is not None:
-                    flag(
-                        node,
-                        f"module-level container {name!r} "
-                        f"(.{node.func.attr}())",
-                    )
+                continue
+            findings.append(Finding(
+                "thread-shared-mutation", Severity.ERROR, LAYER, location,
+                message,
+                "guard the mutation with `with <lock>:`, make the state "
+                "per-call, or allowlist with a written justification if "
+                "the race is benign by construction",
+            ))
     return findings
 
 
@@ -449,6 +596,7 @@ def check_concurrency(
     findings.extend(
         check_worker_mutation(graph, worker_roots, allow=allow, used=used)
     )
+    findings.extend(check_thread_mutation(graph, allow=allow, used=used))
     findings.extend(check_generator_cleanup(graph, allow=allow, used=used))
     findings.extend(
         check_unclassified_raises(graph, worker_roots, allow=allow, used=used)

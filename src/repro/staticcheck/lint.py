@@ -179,6 +179,7 @@ DEEP_CHECK_IDS = (
     "pickle-module-state",
     "pickle-unpicklable-target",
     "worker-global-mutation",
+    "thread-shared-mutation",
     "generator-pool-cleanup",
     "unclassified-raise",
 )

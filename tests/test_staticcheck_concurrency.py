@@ -14,6 +14,7 @@ from repro.staticcheck.concurrency import (
     STATIC_TAXONOMY,
     check_concurrency,
     check_generator_cleanup,
+    check_thread_mutation,
     check_unclassified_raises,
     check_worker_mutation,
     classify_static,
@@ -110,6 +111,96 @@ class TestWorkerMutation:
         assert check_worker_mutation(
             g, worker_roots=["m.execute_payload"]
         ) == []
+
+
+class TestThreadMutation:
+    def test_unlocked_global_mutation_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            _SEQ = 0
+            def do_GET(self):
+                global _SEQ
+                _SEQ = _SEQ + 1
+        """})
+        fs = check_thread_mutation(g, thread_roots=["m.do_GET"])
+        assert checks(fs) == {"thread-shared-mutation"}
+
+    def test_transitive_container_mutation_fires(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            _CACHE = {}
+            def remember(k):
+                _CACHE[k] = True
+            def do_POST(self):
+                remember(self)
+        """})
+        fs = check_thread_mutation(g, thread_roots=["m.do_POST"])
+        assert checks(fs) == {"thread-shared-mutation"}
+
+    def test_lock_guarded_mutation_is_clean(self, tmp_path):
+        # Naming the guard in the `with` is the accepted static proof.
+        g = graph_for(tmp_path, {"m.py": """
+            import threading
+            _SEQ = 0
+            _lock = threading.Lock()
+            def do_GET(self):
+                global _SEQ
+                with _lock:
+                    _SEQ = _SEQ + 1
+        """})
+        assert check_thread_mutation(g, thread_roots=["m.do_GET"]) == []
+
+    def test_self_lock_attribute_guard_is_clean(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            _LOG = []
+            def do_GET(self):
+                with self._lock:
+                    _LOG.append(1)
+        """})
+        assert check_thread_mutation(g, thread_roots=["m.do_GET"]) == []
+
+    def test_unrelated_with_block_still_fires(self, tmp_path):
+        # A `with` that is not a lock (e.g. a file) is no guard.
+        g = graph_for(tmp_path, {"m.py": """
+            _LOG = []
+            def do_GET(self):
+                with open("x") as fh:
+                    _LOG.append(fh)
+        """})
+        fs = check_thread_mutation(g, thread_roots=["m.do_GET"])
+        assert checks(fs) == {"thread-shared-mutation"}
+
+    def test_non_thread_code_is_out_of_scope(self, tmp_path):
+        g = graph_for(tmp_path, {"m.py": """
+            _STATS = {}
+            def parent_only(k):
+                _STATS[k] = 1
+            def do_GET(self):
+                return 1
+        """})
+        assert check_thread_mutation(g, thread_roots=["m.do_GET"]) == []
+
+    def test_shipped_default_roots_resolve(self):
+        # The packaged service handlers/worker/store surface must stay
+        # resolvable, or the check silently loses its real targets.
+        import repro
+        from repro.staticcheck.concurrency import default_thread_roots
+
+        src = os.path.dirname(os.path.abspath(repro.__file__))
+        g = build_callgraph([src])
+        roots = default_thread_roots(g)
+        assert "repro.service.api.ServiceHandler.do_GET" in roots
+        assert "repro.service.worker.ServiceWorker.run" in roots
+        assert "repro.service.store.JobStore.submit" in roots
+
+    def test_hashing_memos_are_deliberately_allowlisted(self):
+        # Without the allowlist the memo stores ARE flagged from the
+        # store's submit path — the waiver is live, not stale.
+        import repro
+
+        src = os.path.dirname(os.path.abspath(repro.__file__))
+        g = build_callgraph([src])
+        findings = check_thread_mutation(g)
+        blob = "\n".join(f.message for f in findings)
+        assert "_part_json_memo" in blob and "_str_json_memo" in blob
 
 
 class TestGeneratorCleanup:
